@@ -1,0 +1,154 @@
+// Command stingfs drives a Sting file system stored on a running Swarm
+// cluster. Each invocation opens the client's log (recovering state from
+// the servers), executes one file operation, checkpoints, and exits —
+// persistence lives entirely in the cluster.
+//
+// Usage (against running swarmd processes):
+//
+//	stingfs -servers :7700,:7701 mkdir /docs
+//	stingfs -servers ...         write /docs/a.txt "hello"
+//	stingfs -servers ...         cat /docs/a.txt
+//	stingfs -servers ...         ls /docs
+//	stingfs -servers ...         stat /docs/a.txt
+//	stingfs -servers ...         mv /docs/a.txt /docs/b.txt
+//	stingfs -servers ...         rm /docs/b.txt
+//	stingfs -servers ...         tree /
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarm"
+)
+
+func main() {
+	var (
+		servers = flag.String("servers", "127.0.0.1:7700", "comma-separated storage server addresses")
+		client  = flag.Uint("client", 1, "client ID (log owner)")
+		frag    = flag.Int("fragsize", 1<<20, "fragment size (must match the cluster)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: stingfs [flags] mkdir|write|cat|ls|stat|mv|rm|rmdir|tree ...")
+		os.Exit(2)
+	}
+	if err := run(strings.Split(*servers, ","), swarm.ClientID(*client), *frag, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "stingfs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addrs []string, client swarm.ClientID, fragSize int, args []string) error {
+	c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fs, err := c.Mount(swarm.FSConfig{})
+	if err != nil {
+		return err
+	}
+
+	if err := execute(fs, args); err != nil {
+		return err
+	}
+	return fs.Unmount()
+}
+
+func execute(fs *swarm.FS, args []string) error {
+	cmd := args[0]
+	need := func(n int) error {
+		if len(args) < n+1 {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return swarm.MkdirAll(fs, args[1])
+	case "write":
+		if err := need(2); err != nil {
+			return err
+		}
+		return swarm.WriteFile(fs, args[1], []byte(args[2]))
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := swarm.ReadFile(fs, args[1])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			fmt.Println()
+		}
+		return nil
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		entries, err := fs.ReadDir(args[1])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "-"
+			if e.Mode.IsDir() {
+				kind = "d"
+			}
+			fmt.Printf("%s %6d %s\n", kind, e.Ino, e.Name)
+		}
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		info, err := fs.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		kind := "file"
+		if info.Mode.IsDir() {
+			kind = "dir"
+		}
+		fmt.Printf("%s: %s, ino %d, %d bytes, nlink %d, mtime %s\n",
+			args[1], kind, info.Ino, info.Size, info.Nlink, info.MTime.Format("2006-01-02 15:04:05"))
+		return nil
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return fs.Rename(args[1], args[2])
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Unlink(args[1])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Rmdir(args[1])
+	case "tree":
+		if err := need(1); err != nil {
+			return err
+		}
+		return swarm.Walk(fs, args[1], func(path string, info swarm.FileInfo) error {
+			if info.Mode.IsDir() {
+				fmt.Printf("%s/\n", path)
+			} else {
+				fmt.Printf("%s (%d bytes)\n", path, info.Size)
+			}
+			return nil
+		})
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"swarm"
+)
+
+// startServers launches n TCP storage servers and returns their
+// addresses.
+func startServers(t *testing.T, n int) []string {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < n; i++ {
+		s, err := swarm.NewServer(swarm.ServerOptions{
+			DiskBytes:    32 << 20,
+			FragmentSize: 64 << 10,
+			Listen:       "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs = append(addrs, s.Addr())
+	}
+	return addrs
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// invoke runs one stingfs command as a fresh invocation (open, execute,
+// checkpoint, exit) — exactly the tool's lifecycle.
+func invoke(t *testing.T, addrs []string, args ...string) string {
+	t.Helper()
+	out, err := capture(t, func() error {
+		return run(addrs, 1, 64<<10, args)
+	})
+	if err != nil {
+		t.Fatalf("stingfs %v: %v", args, err)
+	}
+	return out
+}
+
+func TestStingfsEndToEnd(t *testing.T) {
+	addrs := startServers(t, 3)
+
+	invoke(t, addrs, "mkdir", "/docs/notes")
+	invoke(t, addrs, "write", "/docs/notes/a.txt", "persisted across invocations")
+	if out := invoke(t, addrs, "cat", "/docs/notes/a.txt"); !strings.Contains(out, "persisted across invocations") {
+		t.Fatalf("cat = %q", out)
+	}
+	if out := invoke(t, addrs, "ls", "/docs"); !strings.Contains(out, "notes") {
+		t.Fatalf("ls = %q", out)
+	}
+	if out := invoke(t, addrs, "stat", "/docs/notes/a.txt"); !strings.Contains(out, "file") {
+		t.Fatalf("stat = %q", out)
+	}
+	invoke(t, addrs, "mv", "/docs/notes/a.txt", "/docs/b.txt")
+	if out := invoke(t, addrs, "cat", "/docs/b.txt"); !strings.Contains(out, "persisted") {
+		t.Fatalf("cat after mv = %q", out)
+	}
+	if out := invoke(t, addrs, "tree", "/"); !strings.Contains(out, "/docs/b.txt") {
+		t.Fatalf("tree = %q", out)
+	}
+	invoke(t, addrs, "rm", "/docs/b.txt")
+	invoke(t, addrs, "rmdir", "/docs/notes")
+	if out := invoke(t, addrs, "ls", "/docs"); strings.Contains(out, "notes") {
+		t.Fatalf("ls after rmdir = %q", out)
+	}
+}
+
+func TestStingfsErrors(t *testing.T) {
+	addrs := startServers(t, 2)
+	if err := run(addrs, 1, 64<<10, []string{"cat", "/missing"}); err == nil {
+		t.Fatal("cat missing file succeeded")
+	}
+	if err := run(addrs, 1, 64<<10, []string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run(addrs, 1, 64<<10, []string{"write", "/only-path"}); err == nil {
+		t.Fatal("write with missing argument accepted")
+	}
+	if err := run([]string{"127.0.0.1:1"}, 1, 64<<10, []string{"ls", "/"}); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Command swarmctl is the cluster/client CLI: inspect servers, store and
+// fetch raw log blocks, and verify stripes against running swarmd
+// processes.
+//
+// Usage:
+//
+//	swarmctl -servers host:7700,host:7701 ping
+//	swarmctl -servers ... stat
+//	swarmctl -servers ... -client 1 put <file>     # prints the block address
+//	swarmctl -servers ... -client 1 get <fid> <off> <len>
+//	swarmctl -servers ... -client 1 list
+//	swarmctl -servers ... -client 1 verify         # verify all stripe parity
+//	swarmctl -servers ... -client 1 rebuild <n>    # rebuild replaced server n (1-based)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"swarm"
+	"swarm/internal/core"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+func main() {
+	var (
+		servers = flag.String("servers", "127.0.0.1:7700", "comma-separated storage server addresses (cluster order)")
+		client  = flag.Uint("client", 1, "client ID (log owner)")
+		frag    = flag.Int("fragsize", 1<<20, "fragment size (must match the cluster)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild ...")
+		os.Exit(2)
+	}
+	if err := run(strings.Split(*servers, ","), wire.ClientID(*client), *frag, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "swarmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func dialAll(addrs []string, client wire.ClientID) ([]transport.ServerConn, error) {
+	conns := make([]transport.ServerConn, 0, len(addrs))
+	for i, addr := range addrs {
+		sc, err := transport.DialTCP(wire.ServerID(i+1), strings.TrimSpace(addr), client, 0)
+		if err != nil {
+			return nil, err
+		}
+		conns = append(conns, sc)
+	}
+	return conns, nil
+}
+
+func run(addrs []string, client wire.ClientID, fragSize int, args []string) error {
+	cmd := args[0]
+	switch cmd {
+	case "ping", "stat":
+		conns, err := dialAll(addrs, client)
+		if err != nil {
+			return err
+		}
+		for i, sc := range conns {
+			defer sc.Close()
+			if cmd == "ping" {
+				if err := sc.Ping(); err != nil {
+					fmt.Printf("server %d (%s): DOWN (%v)\n", i+1, addrs[i], err)
+					continue
+				}
+				fmt.Printf("server %d (%s): ok\n", i+1, addrs[i])
+				continue
+			}
+			st, err := sc.Stat()
+			if err != nil {
+				fmt.Printf("server %d (%s): error: %v\n", i+1, addrs[i], err)
+				continue
+			}
+			fmt.Printf("server %d (%s): %d/%d slots used, %d fragments, %d KB slots\n",
+				i+1, addrs[i], st.TotalSlots-st.FreeSlots, st.TotalSlots, st.Fragments, st.FragmentSize>>10)
+		}
+		return nil
+
+	case "list":
+		conns, err := dialAll(addrs, client)
+		if err != nil {
+			return err
+		}
+		for i, sc := range conns {
+			defer sc.Close()
+			fids, err := sc.List(client)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("server %d (%s): %d fragments", i+1, addrs[i], len(fids))
+			for _, fid := range fids {
+				fmt.Printf(" %v", fid)
+			}
+			fmt.Println()
+		}
+		return nil
+
+	case "put":
+		if len(args) < 2 {
+			return fmt.Errorf("put needs a file argument")
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if len(data) > c.Log().MaxBlockSize() {
+			return fmt.Errorf("file is %d bytes; max block is %d", len(data), c.Log().MaxBlockSize())
+		}
+		addr, err := c.Log().AppendBlock(7, data, []byte(args[1]))
+		if err != nil {
+			return err
+		}
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("stored %d bytes at %v\n", len(data), addr)
+		return nil
+
+	case "get":
+		if len(args) < 4 {
+			return fmt.Errorf("get needs <fid> <off> <len> (fid as client/seq)")
+		}
+		fid, err := parseFID(args[1])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseUint(args[2], 10, 32)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseUint(args[3], 10, 32)
+		if err != nil {
+			return err
+		}
+		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		data, err := c.Log().Read(core.BlockAddr{FID: fid, Off: uint32(off)}, 0, uint32(n))
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+
+	case "verify":
+		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		l := c.Log()
+		bad := 0
+		stripes := l.Usage().Stripes()
+		for _, s := range stripes {
+			u, _ := l.Usage().Get(s)
+			if !u.Closed {
+				continue
+			}
+			if err := l.VerifyStripe(s); err != nil {
+				fmt.Printf("stripe %d: BAD: %v\n", s, err)
+				bad++
+			} else {
+				fmt.Printf("stripe %d: ok (%.0f%% live)\n", s, u.Utilization()*100)
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d bad stripes", bad)
+		}
+		fmt.Printf("%d stripes verified\n", len(stripes))
+		return nil
+
+	case "rebuild":
+		if len(args) < 2 {
+			return fmt.Errorf("rebuild needs a server number (1-based cluster position)")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 || n > len(addrs) {
+			return fmt.Errorf("bad server number %q", args[1])
+		}
+		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		rebuilt, err := c.RebuildServer(wire.ServerID(n))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebuilt %d fragments on server %d\n", rebuilt, n)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseFID(s string) (wire.FID, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("fid must be client/seq, got %q", s)
+	}
+	c, err := strconv.ParseUint(parts[0], 10, 24)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 40)
+	if err != nil {
+		return 0, err
+	}
+	return wire.MakeFID(wire.ClientID(c), seq), nil
+}

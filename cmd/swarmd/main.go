@@ -1,0 +1,67 @@
+// Command swarmd runs one Swarm storage server: a fragment repository on
+// a local disk, serving the wire protocol over TCP. Start several swarmd
+// processes and point clients (swarmctl, stingfs, or the swarm package)
+// at them.
+//
+// Usage:
+//
+//	swarmd -listen :7701 -disk /var/lib/swarm/s1.img -size 1073741824
+//	swarmd -listen :7702 -mem -size 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"swarm"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7700", "TCP address to serve the wire protocol on")
+		diskPath = flag.String("disk", "", "backing disk file (created if absent); empty with -mem for memory")
+		mem      = flag.Bool("mem", false, "use an in-memory disk (data lost on exit)")
+		size     = flag.Int64("size", 1<<30, "disk capacity in bytes")
+		fragSize = flag.Int("fragsize", 1<<20, "fragment slot size in bytes (must match the cluster)")
+		reuse    = flag.Bool("reuse", false, "reopen an existing formatted disk instead of formatting")
+	)
+	flag.Parse()
+	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse); err != nil {
+		fmt.Fprintln(os.Stderr, "swarmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool) error {
+	if !mem && diskPath == "" {
+		return fmt.Errorf("need -disk PATH or -mem")
+	}
+	if mem {
+		diskPath = ""
+	}
+	logger := log.New(os.Stderr, "swarmd: ", log.LstdFlags)
+	srv, err := swarm.NewServer(swarm.ServerOptions{
+		DiskPath:     diskPath,
+		DiskBytes:    size,
+		FragmentSize: fragSize,
+		Listen:       listen,
+		Logger:       logger,
+		Reuse:        reuse,
+	})
+	if err != nil {
+		return err
+	}
+	fragsz, total, free, frags := srv.Stats()
+	logger.Printf("serving on %s: %d slots of %d KB (%d free, %d fragments)",
+		srv.Addr(), total, fragsz>>10, free, frags)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	return srv.Close()
+}

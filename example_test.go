@@ -1,0 +1,125 @@
+package swarm_test
+
+import (
+	"fmt"
+	"log"
+
+	"swarm"
+)
+
+// ExampleCluster shows the minimal embedded flow: an in-process cluster,
+// one client, raw log access.
+func ExampleCluster() {
+	cluster, err := swarm.NewLocalCluster(3, swarm.ServerOptions{
+		DiskBytes:    32 << 20,
+		FragmentSize: 64 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	addr, err := client.Log().AppendBlock(7, []byte("hello swarm"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := client.Log().Read(addr, 0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (width %d, parity %v)\n", data, client.Log().Width(), client.Log().ParityEnabled())
+	// Output: hello swarm (width 3, parity true)
+}
+
+// ExampleClient_Mount shows the Sting file system on a Swarm cluster.
+func ExampleClient_Mount() {
+	cluster, err := swarm.NewLocalCluster(2, swarm.ServerOptions{
+		DiskBytes:    32 << 20,
+		FragmentSize: 64 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	fs, err := client.Mount(swarm.FSConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := swarm.MkdirAll(fs, "/projects/swarm"); err != nil {
+		log.Fatal(err)
+	}
+	if err := swarm.WriteFile(fs, "/projects/swarm/README", []byte("stored in a striped log")); err != nil {
+		log.Fatal(err)
+	}
+	data, err := swarm.ReadFile(fs, "/projects/swarm/README")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	if err := fs.Unmount(); err != nil {
+		log.Fatal(err)
+	}
+	// Output: stored in a striped log
+}
+
+// ExampleClient_NewARUManager shows failure atomicity across records.
+func ExampleClient_NewARUManager() {
+	cluster, err := swarm.NewLocalCluster(2, swarm.ServerOptions{
+		DiskBytes:    32 << 20,
+		FragmentSize: 64 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := client.NewARUManager(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	committed := mgr.Begin()
+	committed.Write([]byte("debit A"))
+	committed.Write([]byte("credit B"))
+	committed.Commit()
+
+	abandoned := mgr.Begin()
+	abandoned.Write([]byte("never happened"))
+	// …client crashes before Commit.
+	client.Sync()
+	client.Close()
+
+	// On recovery, only the committed unit's records replay.
+	client2, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client2.Close()
+	if _, err := client2.NewARUManager(func(p []byte) error {
+		fmt.Println(string(p))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// debit A
+	// credit B
+}

@@ -1,0 +1,101 @@
+// Cleaning: drive an overwrite-heavy workload through the logical-disk
+// service, watch the log consume server slots, then run the cleaner and
+// watch it move the live blocks and give the slots back (§2.1.4 of the
+// paper).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"swarm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func freeSlots(cl *swarm.Cluster) (free, total int) {
+	for _, s := range cl.Servers() {
+		_, t, f, _ := s.Stats()
+		free += f
+		total += t
+	}
+	return free, total
+}
+
+func run() error {
+	cluster, err := swarm.NewLocalCluster(3, swarm.ServerOptions{
+		DiskBytes:    32 << 20,
+		FragmentSize: 128 << 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	client, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 128 << 10})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// The logical disk hides the append-only log behind overwritable
+	// blocks: every overwrite appends a new version and deletes the old
+	// one, leaving garbage behind in the log.
+	ld, err := client.NewLogicalDisk(4096)
+	if err != nil {
+		return err
+	}
+	const nBlocks = 32
+	for round := 0; round < 10; round++ {
+		for lbn := uint64(0); lbn < nBlocks; lbn++ {
+			data := bytes.Repeat([]byte{byte(round)}, 4000)
+			if err := ld.Write(lbn, data); err != nil {
+				return err
+			}
+		}
+	}
+	if err := client.Sync(); err != nil {
+		return err
+	}
+	free, total := freeSlots(cluster)
+	fmt.Printf("after 10 overwrite rounds: %d/%d slots free (~90%% of the log is garbage)\n", free, total)
+
+	// The cleaner only reclaims stripes older than every service's
+	// checkpoint — records newer than a checkpoint must survive for
+	// crash replay. Checkpoint first, then clean.
+	if err := ld.Checkpoint(); err != nil {
+		return err
+	}
+	c := client.StartCleaner(0, swarm.CleanerConfig{
+		UtilizationThreshold: 0.8,
+		MaxStripesPerPass:    1000,
+	})
+	cleaned, err := c.CleanOnce()
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("cleaner pass: %d stripes reclaimed, %d live blocks moved (%d KB), %d dead blocks discarded\n",
+		cleaned, st.BlocksMoved, st.BytesMoved/1024, st.BlocksDiscarded)
+
+	free2, _ := freeSlots(cluster)
+	fmt.Printf("slots free: %d -> %d\n", free, free2)
+
+	// The data is untouched by all that motion.
+	for lbn := uint64(0); lbn < nBlocks; lbn++ {
+		data, err := ld.Read(lbn)
+		if err != nil {
+			return fmt.Errorf("lbn %d after cleaning: %w", lbn, err)
+		}
+		if !bytes.Equal(data, bytes.Repeat([]byte{9}, 4000)) {
+			return fmt.Errorf("lbn %d corrupted by cleaner", lbn)
+		}
+	}
+	fmt.Printf("all %d logical blocks verified after cleaning\n", nBlocks)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Quickstart: start an in-process Swarm cluster, append blocks and
+// records to a striped log, checkpoint, and read everything back — the
+// minimal tour of the core abstraction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Four storage servers. The paper's prototype uses 1 MB fragments;
+	// smaller fragments keep this demo snappy.
+	cluster, err := swarm.NewLocalCluster(4, swarm.ServerOptions{
+		DiskBytes:    64 << 20,
+		FragmentSize: 256 << 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// One client = one striped log. With four servers the stripe is
+	// three data fragments plus one rotating parity fragment.
+	client, err := cluster.Connect(1, swarm.ClientOptions{FragmentSize: 256 << 10})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	l := client.Log()
+	fmt.Printf("log open: stripe width %d, parity %v\n", l.Width(), l.ParityEnabled())
+
+	// Append blocks under a service ID of our choosing. The log layer
+	// writes a creation record for each block automatically.
+	const mySvc swarm.ServiceID = 42
+	var addrs []swarm.BlockAddr
+	for i := 0; i < 100; i++ {
+		data := []byte(fmt.Sprintf("block %03d: swarm stores opaque bytes", i))
+		addr, err := l.AppendBlock(mySvc, data, nil)
+		if err != nil {
+			return err
+		}
+		addrs = append(addrs, addr)
+	}
+	// Service-specific records interleave with blocks in the log.
+	if _, err := l.AppendRecord(mySvc, []byte("a record for crash replay")); err != nil {
+		return err
+	}
+
+	// Sync seals the stripe (padding + parity) and waits for the
+	// servers to acknowledge: everything is now parity-protected.
+	if err := client.Sync(); err != nil {
+		return err
+	}
+	fmt.Printf("synced: %d blocks appended\n", len(addrs))
+
+	// Read back: addresses are (fragment, offset) pairs.
+	got, err := l.Read(addrs[41], 0, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read %v -> %q\n", addrs[41], got)
+
+	// A checkpoint bounds recovery time: after a crash, only records
+	// newer than the checkpoint are replayed.
+	if _, err := l.WriteCheckpoint(mySvc, []byte("my service state v1")); err != nil {
+		return err
+	}
+	fmt.Println("checkpoint written (stored in a marked fragment)")
+
+	st := l.Stats()
+	fmt.Printf("stats: %d fragments (%d parity), %d bytes shipped, %d checkpoints\n",
+		st.FragmentsSealed+st.ParityFragments, st.ParityFragments, st.BytesStored, st.Checkpoints)
+
+	for i, s := range cluster.Servers() {
+		_, total, free, frags := s.Stats()
+		fmt.Printf("server %d: %d/%d slots used (%d fragments)\n", i+1, total-free, total, frags)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package aru
+
+import (
+	"errors"
+	"testing"
+
+	"swarm/internal/core"
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/service"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+const aruSvcID = core.ServiceID(3)
+
+type env struct {
+	conns []transport.ServerConn
+	log   *core.Log
+	reg   *service.Registry
+	mgr   *Manager
+	seen  []string
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	e := &env{}
+	for i := 0; i < 2; i++ {
+		d := disk.NewMemDisk(4 << 20)
+		st, err := server.Format(d, server.Config{FragmentSize: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.conns = append(e.conns, transport.NewLocal(wire.ServerID(i+1), st, 1))
+	}
+	e.reopen(t)
+	return e
+}
+
+func (e *env) reopen(t *testing.T) {
+	t.Helper()
+	l, rec, err := core.Open(core.Config{Client: 1, Servers: e.conns, FragmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.log = l
+	e.reg = service.NewRegistry(l)
+	e.mgr = New(aruSvcID, l)
+	e.seen = nil
+	e.mgr.SetReplayHandler(func(p []byte) error {
+		e.seen = append(e.seen, string(p))
+		return nil
+	})
+	if err := e.reg.Register(e.mgr, rec.Service(aruSvcID)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommittedUnitReplays(t *testing.T) {
+	e := newEnv(t)
+	u := e.mgr.Begin()
+	if err := u.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen(t)
+	defer e.log.Close()
+	if len(e.seen) != 2 || e.seen[0] != "a" || e.seen[1] != "b" {
+		t.Fatalf("replayed = %v", e.seen)
+	}
+}
+
+func TestUncommittedUnitSuppressed(t *testing.T) {
+	e := newEnv(t)
+	u := e.mgr.Begin()
+	if err := u.Write([]byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before commit.
+	if err := e.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen(t)
+	defer e.log.Close()
+	if len(e.seen) != 0 {
+		t.Fatalf("uncommitted records replayed: %v", e.seen)
+	}
+	if e.mgr.PendingUnits() != 1 {
+		t.Fatalf("pending units = %d", e.mgr.PendingUnits())
+	}
+}
+
+func TestAbortedUnitSuppressed(t *testing.T) {
+	e := newEnv(t)
+	u := e.mgr.Begin()
+	if err := u.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen(t)
+	defer e.log.Close()
+	if len(e.seen) != 0 {
+		t.Fatalf("aborted records replayed: %v", e.seen)
+	}
+	if e.mgr.PendingUnits() != 0 {
+		t.Fatalf("pending units = %d", e.mgr.PendingUnits())
+	}
+}
+
+func TestInterleavedUnitsCommitOrder(t *testing.T) {
+	e := newEnv(t)
+	u1, u2 := e.mgr.Begin(), e.mgr.Begin()
+	if u1.ID() == u2.ID() {
+		t.Fatal("duplicate unit IDs")
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(u1.Write([]byte("1a")))
+	must(u2.Write([]byte("2a")))
+	must(u1.Write([]byte("1b")))
+	must(u2.Commit()) // u2 commits first
+	must(u1.Commit())
+	must(e.log.Sync())
+
+	e.reopen(t)
+	defer e.log.Close()
+	want := []string{"2a", "1a", "1b"}
+	if len(e.seen) != 3 {
+		t.Fatalf("replayed = %v", e.seen)
+	}
+	for i := range want {
+		if e.seen[i] != want[i] {
+			t.Fatalf("replayed = %v, want %v", e.seen, want)
+		}
+	}
+}
+
+func TestFinishedUnitRejectsOperations(t *testing.T) {
+	e := newEnv(t)
+	defer e.log.Close()
+	u := e.mgr.Begin()
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Write([]byte("x")); !errors.Is(err, ErrFinished) {
+		t.Fatalf("write after commit: %v", err)
+	}
+	if err := u.Commit(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := u.Abort(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestCheckpointUnpinsAndPreservesIDs(t *testing.T) {
+	e := newEnv(t)
+	u := e.mgr.Begin()
+	if err := u.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	firstID := u.ID()
+	e.reopen(t)
+	defer e.log.Close()
+	// Old committed records are behind the checkpoint: not replayed.
+	if len(e.seen) != 0 {
+		t.Fatalf("records replayed past checkpoint: %v", e.seen)
+	}
+	// New units never reuse IDs.
+	u2 := e.mgr.Begin()
+	if u2.ID() <= firstID {
+		t.Fatalf("unit ID %d reused (old %d)", u2.ID(), firstID)
+	}
+}
+
+func TestCheckpointDemandWritesCheckpoint(t *testing.T) {
+	e := newEnv(t)
+	defer e.log.Close()
+	if err := e.mgr.CheckpointDemand(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.log.Checkpoint(aruSvcID); !ok {
+		t.Fatal("no checkpoint after demand")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	e := newEnv(t)
+	defer e.log.Close()
+	err := e.mgr.Replay(core.ReplayEntry{Kind: core.EntryRecord, Payload: []byte{1, 2}})
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("garbage replay: %v", err)
+	}
+	err = e.mgr.Replay(core.ReplayEntry{Kind: core.EntryRecord, Payload: encodeRec(9, 1, nil)})
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("unknown kind replay: %v", err)
+	}
+	// Non-record kinds are ignored.
+	if err := e.mgr.Replay(core.ReplayEntry{Kind: core.EntryCreate}); err != nil {
+		t.Fatal(err)
+	}
+}

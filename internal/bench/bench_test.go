@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small, fast configurations: correctness of the harness, not absolute
+// numbers. The shape assertions use generous margins.
+
+// skipUnderRace skips timing-sensitive model tests when the race
+// detector's slowdown would distort the measured shapes.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("timing-sensitive performance-model test; skipped under -race")
+	}
+}
+
+func TestWritePointSingleClient(t *testing.T) {
+	skipUnderRace(t)
+	r, err := RunWritePoint(WriteConfig{Clients: 1, Servers: 2, Blocks: 800, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RawMBps <= 0 || r.UsefulMBps <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.UsefulMBps >= r.RawMBps {
+		t.Fatalf("useful %.2f ≥ raw %.2f with parity on", r.UsefulMBps, r.RawMBps)
+	}
+	// With width 2, parity doubles the traffic: useful ≈ raw/2.
+	ratio := r.UsefulMBps / r.RawMBps
+	if ratio < 0.35 || ratio > 0.6 {
+		t.Fatalf("useful/raw = %.2f, want ≈0.5", ratio)
+	}
+}
+
+func TestWriteClientIsBottleneck(t *testing.T) {
+	skipUnderRace(t)
+	// Single client raw bandwidth should be in the neighbourhood of the
+	// paper's ~6.1 MB/s and grow only slightly with more servers.
+	r2, err := RunWritePoint(WriteConfig{Clients: 1, Servers: 2, Blocks: 2000, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunWritePoint(WriteConfig{Clients: 1, Servers: 8, Blocks: 2000, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.RawMBps < 4.0 || r2.RawMBps > 8.5 {
+		t.Fatalf("1c2s raw = %.2f MB/s, want ~6", r2.RawMBps)
+	}
+	if r8.RawMBps < r2.RawMBps*0.85 {
+		t.Fatalf("raw dropped with more servers: %.2f -> %.2f", r2.RawMBps, r8.RawMBps)
+	}
+	// Useful bandwidth grows with stripe width (parity amortization).
+	if r8.UsefulMBps <= r2.UsefulMBps {
+		t.Fatalf("useful did not grow with width: %.2f -> %.2f", r2.UsefulMBps, r8.UsefulMBps)
+	}
+}
+
+func TestWriteScalesWithClients(t *testing.T) {
+	skipUnderRace(t)
+	r1, err := RunWritePoint(WriteConfig{Clients: 1, Servers: 8, Blocks: 800, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunWritePoint(WriteConfig{Clients: 4, Servers: 8, Blocks: 800, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.UsefulMBps < r1.UsefulMBps*1.8 {
+		t.Fatalf("4 clients %.2f MB/s vs 1 client %.2f MB/s: no scaling", r4.UsefulMBps, r1.UsefulMBps)
+	}
+}
+
+func TestReadPoint(t *testing.T) {
+	skipUnderRace(t)
+	r, err := RunReadPoint(ReadConfig{Servers: 2, Blocks: 300, Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~1.7 MB/s cold. Accept a broad band around it.
+	if r.ColdMBps < 0.8 || r.ColdMBps > 4.0 {
+		t.Fatalf("cold read = %.2f MB/s, want ~1.7", r.ColdMBps)
+	}
+	if r.CachedMBps < r.ColdMBps*10 {
+		t.Fatalf("cache speedup too small: %.2f vs %.2f", r.CachedMBps, r.ColdMBps)
+	}
+	// Prefetch must beat block-at-a-time cold reads decisively.
+	if r.PrefetchMBps < r.ColdMBps*2 {
+		t.Fatalf("prefetch %.2f MB/s vs cold %.2f MB/s: readahead not helping", r.PrefetchMBps, r.ColdMBps)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	skipUnderRace(t)
+	stingRes, extRes, err := RunFigure5(MABConfig{Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stingRes.Elapsed <= 0 || extRes.Elapsed <= 0 {
+		t.Fatalf("elapsed: %v vs %v", stingRes.Elapsed, extRes.Elapsed)
+	}
+	// Shape: Sting beats ext2fs, and by a factor in the neighbourhood
+	// of the paper's ~1.9x.
+	speedup := float64(extRes.Elapsed) / float64(stingRes.Elapsed)
+	if speedup < 1.2 {
+		t.Fatalf("Sting speedup %.2fx, want > 1.2x (sting=%v ext=%v)", speedup, stingRes.Elapsed, extRes.Elapsed)
+	}
+	// CPU utilization: Sting CPU-bound, ext2fs more disk-bound.
+	if stingRes.CPUUtilization <= extRes.CPUUtilization {
+		t.Fatalf("CPU util: sting %.2f ≤ ext2 %.2f", stingRes.CPUUtilization, extRes.CPUUtilization)
+	}
+}
+
+func TestParityAblation(t *testing.T) {
+	skipUnderRace(t)
+	rows, err := RunParityAblation(800, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Without parity, useful bandwidth must improve.
+	if rows[1].UsefulMBps <= rows[0].UsefulMBps {
+		t.Fatalf("parity off %.2f ≤ parity on %.2f", rows[1].UsefulMBps, rows[0].UsefulMBps)
+	}
+}
+
+func TestDegradedReadAblation(t *testing.T) {
+	skipUnderRace(t)
+	r, err := RunDegradedReadAblation(4000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DegradedLatency <= 0 {
+		t.Fatal("degraded reads failed entirely")
+	}
+	if r.Reconstructions == 0 {
+		t.Fatal("no reconstructions happened")
+	}
+	if r.DegradedLatency <= r.HealthyLatency {
+		t.Fatalf("degraded %v ≤ healthy %v: reconstruction should cost latency", r.DegradedLatency, r.HealthyLatency)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	var sb strings.Builder
+	PrintWriteResults(&sb, "fig3", []WriteResult{{Clients: 1, Servers: 8, RawMBps: 6.3, UsefulMBps: 5.2}}, true, PaperFigure3)
+	if !strings.Contains(sb.String(), "6.4") {
+		t.Fatalf("paper reference missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	PrintMABResults(&sb, MABResult{System: "sting", Elapsed: 9e9, CPUUtilization: 0.9}, MABResult{System: "ext", Elapsed: 18e9, CPUUtilization: 0.5})
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatal("MAB render missing speedup")
+	}
+	sb.Reset()
+	PrintReadResult(&sb, ReadResult{Servers: 2, ColdMBps: 1.6, CachedMBps: 900})
+	PrintAblation(&sb, "t", []AblationResult{{Name: "x", RawMBps: 1, UsefulMBps: 2}})
+	PrintDegradedRead(&sb, DegradedReadResult{Servers: 4, HealthyLatency: 2e6, DegradedLatency: 9e6, Reconstructions: 3})
+	if sb.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestWriteSweepSmall(t *testing.T) {
+	res, err := RunWriteSweep([]int{1}, []int{2, 4}, WriteConfig{Blocks: 400, Scale: 25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("points = %d", len(res))
+	}
+}
+
+func TestFragmentAndPipelineAblations(t *testing.T) {
+	skipUnderRace(t)
+	rows, err := RunFragmentSizeAblation(400, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fragment rows = %d", len(rows))
+	}
+	// Smallest fragments must be the slowest configuration (seek-bound).
+	for _, r := range rows[2:] {
+		if rows[0].RawMBps >= r.RawMBps {
+			t.Fatalf("128KB (%.2f) not slower than %s (%.2f)", rows[0].RawMBps, r.Name, r.RawMBps)
+		}
+	}
+	// The pipeline effect needs enough fragments for steady state.
+	prows, err := RunPipelineAblation(2000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prows) != 3 {
+		t.Fatalf("pipeline rows = %d", len(prows))
+	}
+	if prows[1].RawMBps < prows[0].RawMBps*1.2 {
+		t.Fatalf("depth 2 (%.2f) not better than depth 1 (%.2f)", prows[1].RawMBps, prows[0].RawMBps)
+	}
+}
+
+func TestClusterStoresAccessor(t *testing.T) {
+	c, err := NewSimCluster(ClusterConfig{Servers: 2, DiskBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stores()) != 2 {
+		t.Fatalf("stores = %d", len(c.Stores()))
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/disk"
+	"swarm/internal/extfs"
+	"swarm/internal/mab"
+	"swarm/internal/model"
+	"swarm/internal/service"
+	"swarm/internal/sting"
+)
+
+// MABConfig parameterizes the Figure 5 comparison.
+type MABConfig struct {
+	// Scale speeds up the emulated hardware (results normalized back).
+	Scale float64
+	// Workload overrides the MAB tree shape (zero values take defaults).
+	Workload mab.Config
+	// BlockSize for both file systems. Default 4096.
+	BlockSize int
+}
+
+// MABResult is one file system's Figure 5 outcome.
+type MABResult struct {
+	System         string
+	Elapsed        time.Duration // normalized
+	CPUUtilization float64
+	Phases         [6]time.Duration // normalized
+	Files          int
+	Bytes          int64
+}
+
+// RunFigure5 runs the Modified Andrew Benchmark on Sting (one client, one
+// storage server across the emulated network) and on extfs (an emulated
+// local disk), the exact configuration of Figure 5.
+func RunFigure5(cfg MABConfig) (stingRes, extRes MABResult, err error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 4096
+	}
+	params := model.Paper1999().Scaled(cfg.Scale)
+	wl := cfg.Workload
+	if wl.CompileNsPerByte == 0 {
+		wl.CompileNsPerByte = 12000
+	}
+	wl.CompileNsPerByte = int(float64(wl.CompileNsPerByte) / cfg.Scale)
+	if wl.CompileNsPerByte < 1 {
+		wl.CompileNsPerByte = 1
+	}
+
+	stingRes, err = runStingMAB(params, wl, cfg)
+	if err != nil {
+		return stingRes, extRes, fmt.Errorf("sting MAB: %w", err)
+	}
+	extRes, err = runExtfsMAB(params, wl, cfg)
+	if err != nil {
+		return stingRes, extRes, fmt.Errorf("extfs MAB: %w", err)
+	}
+	return stingRes, extRes, nil
+}
+
+func normalizeMAB(system string, r mab.Result, scale float64) MABResult {
+	out := MABResult{
+		System:         system,
+		Elapsed:        time.Duration(float64(r.Total) * scale),
+		CPUUtilization: r.CPUUtilization(),
+		Files:          r.Files,
+		Bytes:          r.Bytes,
+	}
+	for i, p := range r.Phases {
+		out.Phases[i] = time.Duration(float64(p) * scale)
+	}
+	return out
+}
+
+func runStingMAB(params model.HardwareParams, wl mab.Config, cfg MABConfig) (MABResult, error) {
+	cluster, err := NewSimCluster(ClusterConfig{
+		Servers:   1,
+		DiskBytes: 512 << 20,
+		Params:    params,
+	})
+	if err != nil {
+		return MABResult{}, err
+	}
+	env := cluster.Client(1)
+	log, rec, err := core.Open(core.Config{
+		Client:       1,
+		Servers:      env.Conns,
+		Width:        1,
+		CPU:          env.CPU,
+		FragOverhead: params.ClientFragOverhead,
+	})
+	if err != nil {
+		return MABResult{}, err
+	}
+	reg := service.NewRegistry(log)
+	fs, err := sting.Mount(log, reg, rec, sting.Config{
+		BlockSize:  cfg.BlockSize,
+		CacheBytes: 16 << 20, // "Swarm's poor read performance is masked by the client-side cache"
+	})
+	if err != nil {
+		return MABResult{}, err
+	}
+	wl.CPU = env.CPU
+	if _, _, err := mab.Setup(fs, wl); err != nil {
+		return MABResult{}, err
+	}
+	r, err := mab.Run(fs, wl)
+	if err != nil {
+		return MABResult{}, err
+	}
+	return normalizeMAB("Sting (Swarm, 1 client + 1 server)", r, cfg.Scale), nil
+}
+
+func runExtfsMAB(params model.HardwareParams, wl mab.Config, cfg MABConfig) (MABResult, error) {
+	sd := disk.NewSimDisk(disk.NewMemDisk(512<<20), nil, params)
+	fs, err := extfs.Mkfs(sd, cfg.BlockSize)
+	if err != nil {
+		return MABResult{}, err
+	}
+	// Classic ext2 consistency behaviour: metadata written through,
+	// block-group data placement (see extfs.SetSyncMetadata).
+	fs.SetSyncMetadata(true)
+	wl.CPU = model.NewCPU(nil, params.ClientCPU)
+	if _, _, err := mab.Setup(fs, wl); err != nil {
+		return MABResult{}, err
+	}
+	r, err := mab.Run(fs, wl)
+	if err != nil {
+		return MABResult{}, err
+	}
+	return normalizeMAB("ext2fs (local disk)", r, cfg.Scale), nil
+}

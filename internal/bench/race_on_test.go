@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is compiled in; the
+// performance-model shape tests are timing-sensitive and skip themselves
+// under its ~10x slowdown.
+const raceEnabled = true

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"swarm/internal/mab"
+)
+
+// PaperValue is a reference number from the paper for side-by-side
+// reporting. Zero means the paper gives no number for that point.
+type PaperValue struct {
+	Clients, Servers int
+	MBps             float64
+}
+
+// Paper-reported points (§3.4 text and the Conclusion; the figures are
+// graphs, so only the quoted values are exact).
+var (
+	// PaperFigure3 — raw write bandwidth.
+	PaperFigure3 = []PaperValue{
+		{Clients: 1, Servers: 1, MBps: 6.1},
+		{Clients: 1, Servers: 8, MBps: 6.4},
+		{Clients: 2, Servers: 8, MBps: 12.9},
+		{Clients: 4, Servers: 8, MBps: 19.3},
+	}
+	// PaperFigure4 — useful write throughput.
+	PaperFigure4 = []PaperValue{
+		{Clients: 1, Servers: 2, MBps: 3.0},
+		{Clients: 1, Servers: 4, MBps: 5.5},
+		{Clients: 4, Servers: 2, MBps: 6.7},
+		{Clients: 4, Servers: 8, MBps: 16.0},
+	}
+	// PaperColdReadMBps — "a Swarm client can read 4KB blocks from the
+	// servers at only 1.7 MB/s".
+	PaperColdReadMBps = 1.7
+	// PaperMABSting / PaperMABExt2 — Figure 5 elapsed seconds.
+	PaperMABSting = 9.4 * float64(time.Second)
+	PaperMABExt2  = 17.9 * float64(time.Second)
+	// PaperMABStingCPU / PaperMABExt2CPU — CPU utilizations.
+	PaperMABStingCPU = 0.93
+	PaperMABExt2CPU  = 0.57
+)
+
+func paperRef(refs []PaperValue, clients, servers int) string {
+	for _, r := range refs {
+		if r.Clients == clients && r.Servers == servers {
+			return fmt.Sprintf("%5.1f", r.MBps)
+		}
+	}
+	return "    -"
+}
+
+// PrintWriteResults renders a Figure 3/4 sweep as the series the paper
+// plots: one line per (clients, servers) point, with the paper's quoted
+// value alongside where one exists.
+func PrintWriteResults(w io.Writer, title string, results []WriteResult, raw bool, refs []PaperValue) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s %-8s %-12s %-12s %s\n", "clients", "servers", "MB/s", "paper MB/s", "elapsed(1999)")
+	for _, r := range results {
+		mbps := r.UsefulMBps
+		if raw {
+			mbps = r.RawMBps
+		}
+		fmt.Fprintf(w, "%-8d %-8d %-12.2f %-12s %v\n",
+			r.Clients, r.Servers, mbps, paperRef(refs, r.Clients, r.Servers), r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintMABResults renders Figure 5.
+func PrintMABResults(w io.Writer, stingRes, extRes MABResult) {
+	fmt.Fprintf(w, "Figure 5 — Modified Andrew Benchmark (%d files, %d KB)\n",
+		stingRes.Files, stingRes.Bytes>>10)
+	fmt.Fprintf(w, "%-40s %-14s %-10s %-14s %s\n", "system", "elapsed(1999)", "CPU util", "paper elapsed", "paper util")
+	fmt.Fprintf(w, "%-40s %-14v %-10.0f%% %-14s %.0f%%\n",
+		stingRes.System, stingRes.Elapsed.Round(10*time.Millisecond), stingRes.CPUUtilization*100,
+		fmt.Sprintf("%.1fs", PaperMABSting/float64(time.Second)), PaperMABStingCPU*100)
+	fmt.Fprintf(w, "%-40s %-14v %-10.0f%% %-14s %.0f%%\n",
+		extRes.System, extRes.Elapsed.Round(10*time.Millisecond), extRes.CPUUtilization*100,
+		fmt.Sprintf("%.1fs", PaperMABExt2/float64(time.Second)), PaperMABExt2CPU*100)
+	fmt.Fprintf(w, "speedup: %.2fx (paper: %.2fx)\n",
+		float64(extRes.Elapsed)/float64(stingRes.Elapsed), PaperMABExt2/PaperMABSting)
+	fmt.Fprintf(w, "phases (Sting vs ext2fs):\n")
+	for i, name := range mab.PhaseNames {
+		fmt.Fprintf(w, "  %-10s %10v %10v\n", name,
+			stingRes.Phases[i].Round(time.Millisecond), extRes.Phases[i].Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintReadResult renders the cold/prefetched/cached read measurement.
+func PrintReadResult(w io.Writer, r ReadResult) {
+	fmt.Fprintf(w, "Cold 4 KB read bandwidth (§3.4 in-text; prefetch = the paper's proposed fix)\n")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-16s %s\n", "servers", "cold MB/s", "paper MB/s", "prefetch MB/s", "client-cached MB/s")
+	fmt.Fprintf(w, "%-10d %-12.2f %-12.1f %-16.2f %.0f\n", r.Servers, r.ColdMBps, PaperColdReadMBps, r.PrefetchMBps, r.CachedMBps)
+	fmt.Fprintln(w)
+}
+
+// PrintAblation renders an ablation table.
+func PrintAblation(w io.Writer, title string, rows []AblationResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-44s %-12s %s\n", "configuration", "raw MB/s", "useful MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-44s %-12.2f %.2f\n", r.Name, r.RawMBps, r.UsefulMBps)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintDegradedRead renders the reconstruction ablation.
+func PrintDegradedRead(w io.Writer, r DegradedReadResult) {
+	fmt.Fprintf(w, "Degraded reads (first-touch latency per fragment, %d servers)\n", r.Servers)
+	fmt.Fprintf(w, "%-36s %v\n", "all servers up:", r.HealthyLatency.Round(10*time.Microsecond))
+	fmt.Fprintf(w, "%-36s %v (%d reconstructions)\n", "one server down (reconstruction):", r.DegradedLatency.Round(10*time.Microsecond), r.Reconstructions)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/model"
+	"swarm/internal/wire"
+)
+
+// WriteConfig parameterizes one write-bandwidth measurement (one point of
+// Figure 3/4).
+type WriteConfig struct {
+	Clients int
+	Servers int
+	// Blocks is the number of 4 KB blocks each client writes (the paper
+	// uses 10,000).
+	Blocks    int
+	BlockSize int
+	// Scale speeds the emulated hardware up by this factor; results are
+	// normalized back. 0 means 1.
+	Scale float64
+	// FragmentSize defaults to the paper's 1 MB.
+	FragmentSize int
+	// Width overrides the stripe width (default: all servers).
+	Width int
+	// DisableParity turns parity off (the raw benchmark's single-server
+	// configuration has nowhere to put parity).
+	DisableParity bool
+	// PipelineDepth overrides the per-server pipeline (default 2).
+	PipelineDepth int
+}
+
+func (c *WriteConfig) setDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 10000
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.FragmentSize == 0 {
+		c.FragmentSize = 1 << 20
+	}
+	if c.Width == 0 {
+		c.Width = c.Servers
+		if c.Width > core.MaxWidth {
+			c.Width = core.MaxWidth
+		}
+	}
+	if c.Servers == 1 {
+		c.DisableParity = true
+	}
+}
+
+// WriteResult is one measured point.
+type WriteResult struct {
+	Clients    int
+	Servers    int
+	Elapsed    time.Duration // normalized to 1999-equivalent time
+	RawMBps    float64       // aggregate, including metadata and parity
+	UsefulMBps float64       // aggregate application bytes only
+}
+
+// RunWritePoint measures aggregate write bandwidth for one
+// clients×servers configuration: each client appends Blocks 4 KB blocks
+// to its own striped log and flushes, exactly the microbenchmark of
+// §3.4 ("a simple microbenchmark that wrote 10,000 4KB blocks into the
+// log, then flushed the log to the storage servers").
+func RunWritePoint(cfg WriteConfig) (WriteResult, error) {
+	cfg.setDefaults()
+	params := model.Paper1999().Scaled(cfg.Scale)
+	cluster, err := NewSimCluster(ClusterConfig{
+		Servers:      cfg.Servers,
+		FragmentSize: cfg.FragmentSize,
+		DiskBytes:    int64(cfg.Blocks)*int64(cfg.BlockSize)*4 + (64 << 20),
+		Params:       params,
+	})
+	if err != nil {
+		return WriteResult{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		rawBytes int64
+	)
+	block := make([]byte, cfg.BlockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	start := time.Now()
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			env := cluster.Client(wire.ClientID(ci + 1))
+			log, _, err := core.Open(core.Config{
+				Client:        env.Client,
+				Servers:       env.Conns,
+				FragmentSize:  cfg.FragmentSize,
+				Width:         cfg.Width,
+				DisableParity: cfg.DisableParity,
+				PipelineDepth: cfg.PipelineDepth,
+				CPU:           env.CPU,
+				FragOverhead:  params.ClientFragOverhead,
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			myBlock := append([]byte(nil), block...)
+			for b := 0; b < cfg.Blocks; b++ {
+				if _, err := log.AppendBlock(7, myBlock, nil); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			if err := log.Close(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			rawBytes += log.Stats().BytesStored
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return WriteResult{}, firstErr
+	}
+	elapsed := time.Since(start)
+
+	useful := int64(cfg.Clients) * int64(cfg.Blocks) * int64(cfg.BlockSize)
+	secs := elapsed.Seconds()
+	res := WriteResult{
+		Clients:    cfg.Clients,
+		Servers:    cfg.Servers,
+		Elapsed:    time.Duration(float64(elapsed) * cfg.Scale),
+		RawMBps:    float64(rawBytes) / secs / model.MB / cfg.Scale,
+		UsefulMBps: float64(useful) / secs / model.MB / cfg.Scale,
+	}
+	return res, nil
+}
+
+// Figure3Clients and Figure3Servers are the paper's sweep axes.
+var (
+	Figure3Clients = []int{1, 2, 4}
+	Figure3Servers = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	// Figure4Servers starts at 2: "the minimum system configuration
+	// consisted of a single client and two servers, one to store data
+	// and the other parity" (§3.4).
+	Figure4Servers = []int{2, 3, 4, 5, 6, 7, 8}
+)
+
+// RunWriteSweep runs a full clients×servers sweep.
+func RunWriteSweep(clients, servers []int, base WriteConfig, progress func(string)) ([]WriteResult, error) {
+	var out []WriteResult
+	for _, nc := range clients {
+		for _, ns := range servers {
+			cfg := base
+			cfg.Clients = nc
+			cfg.Servers = ns
+			cfg.Width = 0
+			cfg.DisableParity = false
+			if progress != nil {
+				progress(fmt.Sprintf("write point: %d client(s) × %d server(s)", nc, ns))
+			}
+			r, err := RunWritePoint(cfg)
+			if err != nil {
+				return out, fmt.Errorf("point c=%d s=%d: %w", nc, ns, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+// Package blockcache implements the client-side caching service the
+// paper lists among the services layered on the log (§2.2) and leans on
+// in the evaluation: "we expect most reads to be handled by the client
+// cache" and "Swarm's poor read performance is masked by the client-side
+// cache" (§3.4). The cache intercepts reads between a service and the
+// log, holding whole blocks in an LRU keyed by block address.
+package blockcache
+
+import (
+	"container/list"
+	"sync"
+
+	"swarm/internal/core"
+)
+
+// Reader is the read interface the cache sits on top of (satisfied by
+// *core.Log).
+type Reader interface {
+	Read(addr core.BlockAddr, off, n uint32) ([]byte, error)
+}
+
+// Cache is an LRU block cache.
+type Cache struct {
+	lower    Reader
+	capBytes int64
+
+	mu    sync.Mutex
+	bytes int64
+	lru   *list.List // front = most recent; values are *cacheEntry
+	index map[core.BlockAddr]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	addr core.BlockAddr
+	data []byte
+}
+
+// New returns a cache over lower holding at most capBytes of block data.
+func New(lower Reader, capBytes int64) *Cache {
+	return &Cache{
+		lower:    lower,
+		capBytes: capBytes,
+		lru:      list.New(),
+		index:    make(map[core.BlockAddr]*list.Element),
+	}
+}
+
+// ReadBlock returns n bytes at off within the block at addr, whose total
+// length is blockLen. A miss fetches and caches the whole block, the
+// behaviour that makes rereads free.
+func (c *Cache) ReadBlock(addr core.BlockAddr, blockLen, off, n uint32) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.index[addr]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.hits++
+		if int(off+n) > len(ent.data) {
+			c.mu.Unlock()
+			// Stale or short entry: fall through to the log.
+			return c.lower.Read(addr, off, n)
+		}
+		out := make([]byte, n)
+		copy(out, ent.data[off:off+n])
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.lower.Read(addr, 0, blockLen)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(addr, data)
+	if int(off+n) > len(data) {
+		return c.lower.Read(addr, off, n)
+	}
+	out := make([]byte, n)
+	copy(out, data[off:off+n])
+	return out, nil
+}
+
+// Put inserts (or refreshes) a block. Writers use it to warm the cache
+// with data they just appended.
+func (c *Cache) Put(addr core.BlockAddr, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[addr]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(cp)) - int64(len(ent.data))
+		ent.data = cp
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(&cacheEntry{addr: addr, data: cp})
+		c.index[addr] = el
+		c.bytes += int64(len(cp))
+	}
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	for c.bytes > c.capBytes && c.lru.Len() > 0 {
+		el := c.lru.Back()
+		ent := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.index, ent.addr)
+		c.bytes -= int64(len(ent.data))
+	}
+}
+
+// Invalidate removes a block (e.g. after the owner deletes it or the
+// cleaner moves it).
+func (c *Cache) Invalidate(addr core.BlockAddr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[addr]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.index, addr)
+		c.bytes -= int64(len(ent.data))
+	}
+}
+
+// Stats reports hit/miss counts and current occupancy.
+func (c *Cache) Stats() (hits, misses, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.bytes
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,210 @@
+package blockcache
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"swarm/internal/core"
+	"swarm/internal/wire"
+)
+
+// fakeReader counts reads and serves from a map.
+type fakeReader struct {
+	mu     sync.Mutex
+	blocks map[core.BlockAddr][]byte
+	reads  int
+}
+
+func (f *fakeReader) Read(addr core.BlockAddr, off, n uint32) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	b, ok := f.blocks[addr]
+	if !ok {
+		return nil, errors.New("no block")
+	}
+	if int(off+n) > len(b) {
+		return nil, errors.New("out of range")
+	}
+	out := make([]byte, n)
+	copy(out, b[off:off+n])
+	return out, nil
+}
+
+func addr(i int) core.BlockAddr {
+	return core.BlockAddr{FID: wire.MakeFID(1, uint64(i)), Off: 0}
+}
+
+func newFake(n, size int) *fakeReader {
+	f := &fakeReader{blocks: make(map[core.BlockAddr][]byte)}
+	for i := 0; i < n; i++ {
+		f.blocks[addr(i)] = bytes.Repeat([]byte{byte(i)}, size)
+	}
+	return f
+}
+
+func TestCacheHitAvoidsLowerRead(t *testing.T) {
+	f := newFake(4, 100)
+	c := New(f, 1<<20)
+	for i := 0; i < 3; i++ {
+		got, err := c.ReadBlock(addr(1), 100, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, f.blocks[addr(1)]) {
+			t.Fatal("data mismatch")
+		}
+	}
+	if f.reads != 1 {
+		t.Fatalf("lower reads = %d, want 1", f.reads)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCachePartialReadFromCachedBlock(t *testing.T) {
+	f := newFake(1, 100)
+	c := New(f, 1<<20)
+	if _, err := c.ReadBlock(addr(0), 100, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadBlock(addr(0), 100, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f.blocks[addr(0)][10:30]) {
+		t.Fatal("partial read mismatch")
+	}
+	if f.reads != 1 {
+		t.Fatalf("lower reads = %d", f.reads)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	f := newFake(3, 100)
+	c := New(f, 250) // room for two 100-byte blocks
+	for i := 0; i < 3; i++ {
+		if _, err := c.ReadBlock(addr(i), 100, 0, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d", c.Len())
+	}
+	// addr(0) is the LRU victim: rereading it misses.
+	before := f.reads
+	if _, err := c.ReadBlock(addr(0), 100, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.reads != before+1 {
+		t.Fatal("evicted block served from cache")
+	}
+	// addr(2) (most recent) still hits.
+	before = f.reads
+	if _, err := c.ReadBlock(addr(2), 100, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.reads != before {
+		t.Fatal("recent block missed")
+	}
+}
+
+func TestCacheTouchRefreshesLRU(t *testing.T) {
+	f := newFake(3, 100)
+	c := New(f, 250)
+	mustRead := func(i int) {
+		t.Helper()
+		if _, err := c.ReadBlock(addr(i), 100, 0, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRead(0)
+	mustRead(1)
+	mustRead(0) // touch 0: now 1 is LRU
+	mustRead(2) // evicts 1
+	before := f.reads
+	mustRead(0)
+	if f.reads != before {
+		t.Fatal("touched block was evicted")
+	}
+}
+
+func TestCachePutAndInvalidate(t *testing.T) {
+	f := newFake(1, 100)
+	c := New(f, 1<<20)
+	// Warm the cache directly (writer path).
+	c.Put(addr(5), []byte("warm"))
+	got, err := c.ReadBlock(addr(5), 4, 0, 4)
+	if err != nil || string(got) != "warm" {
+		t.Fatalf("read warmed = (%q,%v)", got, err)
+	}
+	if f.reads != 0 {
+		t.Fatal("warmed read went to lower layer")
+	}
+	c.Invalidate(addr(5))
+	if _, err := c.ReadBlock(addr(5), 4, 0, 4); err == nil {
+		t.Fatal("invalidated block served (lower has no such block)")
+	}
+	// Put replaces existing contents.
+	c.Put(addr(6), []byte("aaa"))
+	c.Put(addr(6), []byte("bb"))
+	got, err = c.ReadBlock(addr(6), 2, 0, 2)
+	if err != nil || string(got) != "bb" {
+		t.Fatalf("replaced = (%q,%v)", got, err)
+	}
+	_, _, bytesUsed := c.Stats()
+	if bytesUsed != 2 {
+		t.Fatalf("bytes = %d", bytesUsed)
+	}
+}
+
+func TestCacheMissErrorPropagates(t *testing.T) {
+	f := newFake(0, 0)
+	c := New(f, 1024)
+	if _, err := c.ReadBlock(addr(9), 10, 0, 10); err == nil {
+		t.Fatal("missing block read succeeded")
+	}
+}
+
+func TestCacheShortEntryFallsThrough(t *testing.T) {
+	f := newFake(1, 100)
+	c := New(f, 1024)
+	// Cache a truncated version, then ask for more than it holds.
+	c.Put(addr(0), f.blocks[addr(0)][:10])
+	got, err := c.ReadBlock(addr(0), 100, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f.blocks[addr(0)][:50]) {
+		t.Fatal("fallthrough read mismatch")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	f := newFake(16, 64)
+	c := New(f, 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				idx := (g + i) % 16
+				got, err := c.ReadBlock(addr(idx), 64, 0, 64)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if got[0] != byte(idx) {
+					t.Error("data mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

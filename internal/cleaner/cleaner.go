@@ -1,0 +1,320 @@
+// Package cleaner implements Swarm's log cleaner (§2.1.4): a service
+// layered on the log that reclaims space by moving live blocks out of
+// under-utilized stripes and deleting the stripes. Running the cleaner as
+// a service — rather than inside the log layer — mirrors the paper's
+// design (and the user-level LFS cleaner it cites).
+//
+// The cleaner is checkpoint-gated: it only reclaims stripes entirely
+// older than every service's newest checkpoint, because younger records
+// would still be replayed after a crash. When reclaimable space is pinned
+// by a service's stale checkpoint, the cleaner demands a checkpoint; a
+// service that persistently ignores demands can have its stripes
+// reclaimed anyway with Force, at its own peril.
+package cleaner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/service"
+	"swarm/internal/wire"
+)
+
+// ErrNothingToClean is returned by CleanOnce when no stripe qualifies.
+var ErrNothingToClean = errors.New("cleaner: nothing to clean")
+
+// Config tunes the cleaner's policy.
+type Config struct {
+	// UtilizationThreshold: stripes with live/total utilization at or
+	// below this are candidates. Default 0.5.
+	UtilizationThreshold float64
+	// MaxStripesPerPass bounds work per CleanOnce. Default 4.
+	MaxStripesPerPass int
+	// Force reclaims qualifying stripes even when a registered service
+	// has never checkpointed (records in them are lost to replay).
+	Force bool
+}
+
+// Stats counts cleaner activity.
+type Stats struct {
+	Passes          int64
+	StripesCleaned  int64
+	BlocksMoved     int64
+	BytesMoved      int64
+	BlocksDiscarded int64
+	Demands         int64
+}
+
+// Cleaner reclaims log space.
+type Cleaner struct {
+	log *core.Log
+	reg *service.Registry
+	cfg Config
+
+	mu    sync.Mutex
+	stats Stats
+
+	stopOnce sync.Once
+	started  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New returns a cleaner over log, using reg to check block liveness and
+// deliver move notifications.
+func New(log *core.Log, reg *service.Registry, cfg Config) *Cleaner {
+	if cfg.UtilizationThreshold == 0 {
+		cfg.UtilizationThreshold = 0.5
+	}
+	if cfg.MaxStripesPerPass == 0 {
+		cfg.MaxStripesPerPass = 4
+	}
+	return &Cleaner{log: log, reg: reg, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cleaner) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// candidate pairs a stripe with its cost-benefit score.
+type candidate struct {
+	stripe uint64
+	util   float64
+	score  float64
+}
+
+// candidates returns cleanable stripes ordered by LFS cost-benefit
+// (Rosenblum & Ousterhout; the heuristics paper the paper cites as [3]):
+// benefit/cost = (1−u)·age / (1+u), where reading the stripe costs 1,
+// writing back its live fraction costs u, and (1−u) space is freed.
+// Stripe IDs are allocated monotonically, so current−stripe is the age.
+// pinned reports stripes that would qualify but are held back by the
+// checkpoint floor.
+func (c *Cleaner) candidates() (ready []candidate, pinned int) {
+	floor := c.log.CheckpointFloor()
+	width := uint64(c.log.Width())
+	current := c.log.NextPos().Seq / width
+	for _, stripe := range c.log.Usage().Stripes() {
+		u, ok := c.log.Usage().Get(stripe)
+		if !ok || !u.Closed {
+			continue
+		}
+		util := u.Utilization()
+		if util > c.cfg.UtilizationThreshold {
+			continue
+		}
+		// Every fragment of the stripe must be strictly older than the
+		// floor; the stripe spans seqs [stripe*W, (stripe+1)*W).
+		if (stripe+1)*width > floor.Seq {
+			if !c.cfg.Force {
+				pinned++
+				continue
+			}
+		}
+		age := float64(1)
+		if current > stripe {
+			age = float64(current - stripe)
+		}
+		ready = append(ready, candidate{
+			stripe: stripe,
+			util:   util,
+			score:  (1 - util) * age / (1 + util),
+		})
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].score != ready[j].score {
+			return ready[i].score > ready[j].score
+		}
+		return ready[i].stripe < ready[j].stripe
+	})
+	return ready, pinned
+}
+
+// CleanOnce performs one cleaning pass: pick victims, move live blocks,
+// reclaim stripes. It returns the number of stripes reclaimed;
+// ErrNothingToClean means no stripe qualified (after possibly demanding
+// checkpoints from services pinning space).
+func (c *Cleaner) CleanOnce() (int, error) {
+	c.mu.Lock()
+	c.stats.Passes++
+	c.mu.Unlock()
+
+	ready, pinned := c.candidates()
+	if pinned > 0 {
+		// Space is pinned by stale checkpoints: demand fresh ones so the
+		// next pass can proceed (§2.1.4).
+		c.mu.Lock()
+		c.stats.Demands++
+		c.mu.Unlock()
+		if err := c.reg.DemandCheckpoints(c.log.NextPos()); err != nil {
+			return 0, err
+		}
+		ready, _ = c.candidates()
+	}
+	if len(ready) == 0 {
+		return 0, ErrNothingToClean
+	}
+	if len(ready) > c.cfg.MaxStripesPerPass {
+		ready = ready[:c.cfg.MaxStripesPerPass]
+	}
+	cleaned := 0
+	for _, cand := range ready {
+		if err := c.cleanStripe(cand.stripe); err != nil {
+			return cleaned, fmt.Errorf("clean stripe %d: %w", cand.stripe, err)
+		}
+		cleaned++
+	}
+	return cleaned, nil
+}
+
+// liveBlock is a block (with its creation record) found in a victim
+// stripe.
+type liveBlock struct {
+	svc  core.ServiceID
+	addr core.BlockAddr
+	data []byte
+	hint []byte
+}
+
+// cleanStripe moves the live blocks out of one stripe and reclaims it.
+// "A block is cleaned by appending it to the log, changing its address
+// and requiring the services that wrote it to update their metadata
+// accordingly" (§2.1.4).
+func (c *Cleaner) cleanStripe(stripe uint64) error {
+	width := uint64(c.log.Width())
+	base := stripe * width
+
+	var live []liveBlock
+	for i := uint64(0); i < width; i++ {
+		fid := wire.MakeFID(c.log.Client(), base+i)
+		h, payload, err := c.log.FetchFragment(fid)
+		if err != nil {
+			// A fully absent fragment (e.g. a never-written slot in a
+			// pre-parity stripe) contributes nothing.
+			continue
+		}
+		if h.Kind != core.FragData || h.DataLen == 0 {
+			continue
+		}
+		// Collect blocks and their co-located creation records.
+		type pending struct {
+			svc  core.ServiceID
+			addr core.BlockAddr
+			data []byte
+		}
+		blocks := make(map[core.BlockAddr]pending)
+		err = core.IterEntries(payload, func(e core.Entry) bool {
+			switch e.Kind {
+			case core.EntryBlock:
+				addr := core.BlockAddr{FID: fid, Off: e.Off}
+				blocks[addr] = pending{svc: e.Svc, addr: addr, data: append([]byte(nil), e.Payload...)}
+			case core.EntryCreate:
+				cr, derr := core.DecodeCreateRecord(e.Payload)
+				if derr != nil {
+					return true
+				}
+				if p, ok := blocks[cr.Addr]; ok {
+					if c.isLive(p.svc, cr.Addr, cr.Hint) {
+						live = append(live, liveBlock{
+							svc:  p.svc,
+							addr: cr.Addr,
+							data: p.data,
+							hint: append([]byte(nil), cr.Hint...),
+						})
+					} else {
+						c.mu.Lock()
+						c.stats.BlocksDiscarded++
+						c.mu.Unlock()
+					}
+					delete(blocks, cr.Addr)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Move live blocks to the log head and notify their owners.
+	for _, b := range live {
+		newAddr, err := c.log.AppendBlock(b.svc, b.data, b.hint)
+		if err != nil {
+			return fmt.Errorf("move block %v: %w", b.addr, err)
+		}
+		if err := c.reg.NotifyBlockMoved(b.svc, b.addr, newAddr, uint32(len(b.data)), b.hint); err != nil {
+			if !errors.Is(err, service.ErrUnknownService) {
+				return fmt.Errorf("notify move of %v: %w", b.addr, err)
+			}
+		}
+		c.mu.Lock()
+		c.stats.BlocksMoved++
+		c.stats.BytesMoved += int64(len(b.data))
+		c.mu.Unlock()
+	}
+	// Make the moves durable before destroying the originals.
+	if len(live) > 0 {
+		if err := c.log.Sync(); err != nil {
+			return fmt.Errorf("sync moved blocks: %w", err)
+		}
+	}
+	if err := c.log.ReclaimStripe(stripe); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.StripesCleaned++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Cleaner) isLive(svc core.ServiceID, addr core.BlockAddr, hint []byte) bool {
+	s, err := c.reg.Lookup(svc)
+	if err != nil {
+		// Unknown owner: keep the block (safe), unless forcing.
+		return !c.cfg.Force
+	}
+	return s.BlockLive(addr, hint)
+}
+
+// Start runs cleaning passes every interval until Stop is called.
+func (c *Cleaner) Start(interval time.Duration) {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, err := c.CleanOnce()
+				if err != nil && !errors.Is(err, ErrNothingToClean) {
+					// Cleaning is best-effort; the next tick retries.
+					continue
+				}
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call
+// without Start (the loop goroutine is only created by Start).
+func (c *Cleaner) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}

@@ -1,0 +1,90 @@
+// Package core implements Swarm's primary contribution: the client-side
+// striped log (§2.1 of the paper). Each client forms the data it writes
+// into an append-only log of blocks and records, batches the log into
+// fixed-size fragments, and stripes the fragments across the storage
+// servers with rotating parity. Clients never coordinate with each other
+// and servers never coordinate with each other: everything the log layer
+// needs — stripe membership, parity placement, checkpoint locations — is
+// self-described by the fragments themselves.
+package core
+
+import (
+	"fmt"
+
+	"swarm/internal/wire"
+)
+
+// ServiceID identifies one service stacked on the log. Records carry the
+// ID of the service that wrote them so the log layer can route replay.
+// ID 0 is reserved for the log layer itself.
+type ServiceID uint16
+
+// LogServiceID is the log layer's own service ID.
+const LogServiceID ServiceID = 0
+
+// BlockAddr names a block in the log: the fragment holding it and the
+// offset of its entry within the fragment's payload region. Addresses are
+// stable until the cleaner moves the block, at which point the owning
+// service is notified of the new address.
+type BlockAddr struct {
+	FID wire.FID
+	Off uint32
+}
+
+// IsZero reports whether the address is the zero value.
+func (a BlockAddr) IsZero() bool { return a == BlockAddr{} }
+
+// String renders the address.
+func (a BlockAddr) String() string { return fmt.Sprintf("%v+%d", a.FID, a.Off) }
+
+// Pos is a totally ordered position in one client's log, used to compare
+// record positions against checkpoint positions during replay.
+type Pos struct {
+	Seq uint64 // fragment sequence number
+	Off uint32 // offset within the fragment payload
+}
+
+// PosOf returns the log position of an address.
+func PosOf(a BlockAddr) Pos { return Pos{Seq: a.FID.Seq(), Off: a.Off} }
+
+// Less reports whether p precedes q in the log.
+func (p Pos) Less(q Pos) bool {
+	if p.Seq != q.Seq {
+		return p.Seq < q.Seq
+	}
+	return p.Off < q.Off
+}
+
+// EntryKind discriminates log entries. Blocks hold service data; the
+// record kinds implement crash recovery (§2.1.1): the log layer
+// automatically writes Create and Delete records for block operations,
+// services write their own Record entries, and Checkpoint entries bound
+// how far replay must go.
+type EntryKind uint8
+
+// Log entry kinds.
+const (
+	EntryBlock EntryKind = iota + 1
+	EntryCreate
+	EntryDelete
+	EntryCheckpoint
+	EntryRecord
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryBlock:
+		return "block"
+	case EntryCreate:
+		return "create"
+	case EntryDelete:
+		return "delete"
+	case EntryCheckpoint:
+		return "checkpoint"
+	case EntryRecord:
+		return "record"
+	default:
+		return fmt.Sprintf("entry(%d)", uint8(k))
+	}
+}

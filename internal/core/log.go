@@ -1,0 +1,830 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"swarm/internal/model"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// Log errors.
+var (
+	// ErrClosed is returned for operations on a closed log.
+	ErrClosed = errors.New("core: log closed")
+	// ErrLost is returned when a fragment is unavailable and cannot be
+	// reconstructed (more failures than parity tolerates).
+	ErrLost = errors.New("core: fragment lost")
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("core: invalid config")
+)
+
+// Config parameterizes one client's log.
+type Config struct {
+	// Client is this log's owner; it scopes the FID space.
+	Client wire.ClientID
+	// Servers are the storage servers, in cluster order. Placement is
+	// deterministic over this order, so give every client the same list.
+	Servers []transport.ServerConn
+	// FragmentSize is the fragment size in bytes; it must match the
+	// servers' slot size. Defaults to 1 MB (the paper's prototype).
+	FragmentSize int
+	// Width is the stripe width including parity. Defaults to
+	// min(len(Servers), MaxWidth). Must be ≤ len(Servers) so stripe
+	// members land on distinct servers.
+	Width int
+	// DisableParity turns off parity fragments (used by the raw-write
+	// benchmark's single-server configuration, and by anyone who prefers
+	// capacity over availability).
+	DisableParity bool
+	// PipelineDepth bounds in-flight fragment stores per server. The
+	// default of 2 mirrors the prototype: one fragment crosses the
+	// network while the server writes the previous one to disk (§2.1.2).
+	PipelineDepth int
+	// PreallocStripes reserves every member slot of a stripe on its
+	// servers when the stripe opens (the paper's preallocate operation,
+	// §2.2), guaranteeing that a started stripe — including its parity —
+	// can always be stored even if other clients fill the servers in the
+	// meantime. Costs one control round trip per member per stripe.
+	PreallocStripes bool
+	// ReadaheadFragments, when positive, enables fragment-grained read
+	// caching: a block read that misses fetches the whole fragment and
+	// caches it, so sequential cold reads cost one server round trip per
+	// fragment instead of one per block. This is the prefetching the
+	// paper names as the obvious missing read optimization (§3.4: "the
+	// clients do not prefetch blocks from the servers. Both of these
+	// optimizations would greatly improve the performance of reads that
+	// miss in the client cache"). The value is the number of fragments
+	// held.
+	ReadaheadFragments int
+	// ACLs, when non-empty, protects every stored fragment with the
+	// given per-server access control list (each server assigns its own
+	// AIDs, hence the map). Fragments are stored with a single byte
+	// range covering the whole fragment (§2.3.2).
+	ACLs map[wire.ServerID]wire.AID
+	// CPU, when set, charges client log-processing work to a modeled
+	// processor (benchmarks reproducing the paper's 200 MHz clients).
+	CPU *model.CPU
+	// FragOverhead is fixed client work charged per sealed fragment.
+	FragOverhead time.Duration
+}
+
+// DefaultFragmentSize is the paper's fragment size.
+const DefaultFragmentSize = 1 << 20
+
+// fragBuilder accumulates entries for the currently open fragment.
+type fragBuilder struct {
+	fid     wire.FID
+	stripe  uint64
+	index   uint8
+	payload []byte
+	off     int
+}
+
+// sealedFrag is a fragment ready to ship to its server.
+type sealedFrag struct {
+	conn    transport.ServerConn
+	fid     wire.FID
+	frame   []byte // header + payload[:dataLen]
+	mark    bool
+	payload []byte // payload view for read-your-writes
+}
+
+// Log is one client's striped log.
+type Log struct {
+	cfg         Config
+	client      wire.ClientID
+	servers     []transport.ServerConn
+	byServer    map[wire.ServerID]transport.ServerConn
+	width       int
+	parity      bool
+	fragSize    int
+	payloadSize int
+
+	mu         sync.Mutex
+	closed     bool
+	seq        uint64 // next fragment sequence number
+	cur        *fragBuilder
+	pacc       *parityAccum
+	ckpts      map[ServiceID]BlockAddr
+	registered map[ServiceID]bool
+	locations  map[wire.FID]wire.ServerID
+	inflight   map[wire.FID][]byte
+	prealloced map[uint64]bool // stripes whose slots have been reserved
+	needPre    []uint64        // stripes awaiting preallocation
+	usage      *UsageTable
+	recon      *fragCache
+	readahead  bool
+
+	sems map[wire.ServerID]chan struct{}
+
+	flowMu  sync.Mutex
+	flowCnt int
+	flowCV  *sync.Cond
+
+	errMu sync.Mutex
+	ioErr error
+
+	stats LogStats
+}
+
+// LogStats counts log activity.
+type LogStats struct {
+	BlocksAppended    int64
+	RecordsAppended   int64
+	BlockBytes        int64 // application payload bytes in blocks
+	FragmentsSealed   int64
+	ParityFragments   int64
+	BytesStored       int64 // total bytes shipped to servers (raw)
+	Checkpoints       int64
+	Reconstructions   int64
+	BroadcastFallback int64
+}
+
+// Open opens (or recovers) a client's log and returns the recovery
+// information services need to replay. A fresh log yields an empty
+// Recovery.
+func Open(cfg Config) (*Log, *Recovery, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, nil, fmt.Errorf("%w: no servers", ErrConfig)
+	}
+	if cfg.FragmentSize == 0 {
+		cfg.FragmentSize = DefaultFragmentSize
+	}
+	if cfg.FragmentSize <= HeaderSize+EntryHdrSize {
+		return nil, nil, fmt.Errorf("%w: fragment size %d too small", ErrConfig, cfg.FragmentSize)
+	}
+	if cfg.Width == 0 {
+		cfg.Width = len(cfg.Servers)
+		if cfg.Width > MaxWidth {
+			cfg.Width = MaxWidth
+		}
+	}
+	if cfg.Width < 1 || cfg.Width > MaxWidth {
+		return nil, nil, fmt.Errorf("%w: width %d out of range", ErrConfig, cfg.Width)
+	}
+	if cfg.Width > len(cfg.Servers) {
+		return nil, nil, fmt.Errorf("%w: width %d exceeds %d servers", ErrConfig, cfg.Width, len(cfg.Servers))
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 2
+	}
+	l := &Log{
+		cfg:         cfg,
+		client:      cfg.Client,
+		servers:     cfg.Servers,
+		byServer:    make(map[wire.ServerID]transport.ServerConn, len(cfg.Servers)),
+		width:       cfg.Width,
+		parity:      cfg.Width >= 2 && !cfg.DisableParity,
+		fragSize:    cfg.FragmentSize,
+		payloadSize: cfg.FragmentSize - HeaderSize,
+		ckpts:       make(map[ServiceID]BlockAddr),
+		registered:  make(map[ServiceID]bool),
+		locations:   make(map[wire.FID]wire.ServerID),
+		inflight:    make(map[wire.FID][]byte),
+		prealloced:  make(map[uint64]bool),
+		usage:       NewUsageTable(),
+		recon:       newFragCache(max(8, cfg.ReadaheadFragments)),
+		readahead:   cfg.ReadaheadFragments > 0,
+		sems:        make(map[wire.ServerID]chan struct{}, len(cfg.Servers)),
+	}
+	l.flowCV = sync.NewCond(&l.flowMu)
+	l.pacc = newParityAccum(l.payloadSize)
+	for _, sc := range cfg.Servers {
+		if _, dup := l.byServer[sc.ID()]; dup {
+			return nil, nil, fmt.Errorf("%w: duplicate server id %d", ErrConfig, sc.ID())
+		}
+		l.byServer[sc.ID()] = sc
+		l.sems[sc.ID()] = make(chan struct{}, cfg.PipelineDepth)
+	}
+	// Sanity-check the fragment size against every reachable server: a
+	// mismatch would otherwise surface as confusing store failures deep
+	// into a run. Unreachable servers are tolerated (recovery handles
+	// them), so a degraded cluster still opens.
+	for _, sc := range cfg.Servers {
+		st, err := sc.Stat()
+		if err != nil {
+			continue
+		}
+		if int(st.FragmentSize) != cfg.FragmentSize {
+			return nil, nil, fmt.Errorf("%w: server %d uses %d-byte fragments, client configured for %d",
+				ErrConfig, sc.ID(), st.FragmentSize, cfg.FragmentSize)
+		}
+	}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover log: %w", err)
+	}
+	return l, rec, nil
+}
+
+// createRecBaseSize is the encoded size of a CreateRecord with an empty
+// hint: FID(8) + Off(4) + Len(4) + hint length prefix(4).
+const createRecBaseSize = 20
+
+// MaxBlockSize returns the largest block this log accepts. A block and
+// its creation record are always co-located in one fragment (so the
+// cleaner sees them together), which costs two entry headers plus the
+// record body.
+func (l *Log) MaxBlockSize() int {
+	return l.payloadSize - 2*EntryHdrSize - createRecBaseSize
+}
+
+// Client returns the owning client's ID.
+func (l *Log) Client() wire.ClientID { return l.client }
+
+// Width returns the stripe width (including parity, when enabled).
+func (l *Log) Width() int { return l.width }
+
+// ParityEnabled reports whether stripes carry a parity fragment.
+func (l *Log) ParityEnabled() bool { return l.parity }
+
+// Usage returns the log's stripe usage table.
+func (l *Log) Usage() *UsageTable { return l.usage }
+
+// Servers returns the log's server connections.
+func (l *Log) Servers() []transport.ServerConn { return l.servers }
+
+// Stats returns a snapshot of activity counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// RegisterService tells the log a service exists. Registered services
+// participate in the checkpoint floor: the cleaner may only reclaim
+// stripes older than every registered service's last checkpoint.
+func (l *Log) RegisterService(svc ServiceID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.registered[svc] = true
+}
+
+// ------------------------------------------------------- stripe geometry
+
+func (l *Log) stripeOf(seq uint64) uint64 { return seq / uint64(l.width) }
+
+// parityIndex returns the parity member's index within stripe, or -1 when
+// parity is disabled. Rotating the parity position by stripe number
+// balances server load during reconstruction (§2.1.2).
+func (l *Log) parityIndex(stripe uint64) int {
+	if !l.parity {
+		return -1
+	}
+	return int(stripe % uint64(l.width))
+}
+
+// serverFor returns the connection storing member index of stripe.
+// Placement rotates with the stripe number so both data and parity load
+// spread over all servers.
+func (l *Log) serverFor(stripe uint64, index int) transport.ServerConn {
+	s := len(l.servers)
+	return l.servers[int((stripe+uint64(index))%uint64(s))]
+}
+
+func (l *Log) fillGroup(h *Header) {
+	for i := 0; i < l.width; i++ {
+		h.Group[i] = l.serverFor(h.StripeID, i).ID()
+	}
+}
+
+// nextDataSeq returns the first sequence number ≥ seq that is not a
+// parity slot.
+func (l *Log) nextDataSeq(seq uint64) uint64 {
+	for l.parity && int(seq%uint64(l.width)) == l.parityIndex(l.stripeOf(seq)) {
+		seq++
+	}
+	return seq
+}
+
+// ------------------------------------------------------------ append path
+
+// AppendBlock appends a block owned by svc and returns its address. The
+// log layer automatically appends a creation record carrying hint, which
+// is handed back to the service if the cleaner later moves the block
+// (§2.1.4). The address is stable until then.
+func (l *Log) AppendBlock(svc ServiceID, data []byte, hint []byte) (BlockAddr, error) {
+	recSize := createRecBaseSize + len(hint)
+	need := EntrySize(len(data)) + EntrySize(recSize)
+	if need > l.payloadSize {
+		return BlockAddr{}, fmt.Errorf("%w: %d > %d", ErrBlockTooLarge, len(data), l.MaxBlockSize())
+	}
+	var addr BlockAddr
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return BlockAddr{}, ErrClosed
+		}
+		if l.cur == nil {
+			l.openFragmentLocked()
+		}
+		if l.cur.off+need <= l.payloadSize {
+			fb := l.cur
+			addr = BlockAddr{FID: fb.fid, Off: uint32(fb.off)}
+			fb.off = AppendEntry(fb.payload, fb.off, EntryBlock, svc, data)
+			rec := EncodeCreateRecord(&CreateRecord{Addr: addr, Len: uint32(len(data)), Hint: hint})
+			fb.off = AppendEntry(fb.payload, fb.off, EntryCreate, svc, rec)
+			stripe := fb.stripe
+			l.stats.BlocksAppended++
+			l.stats.BlockBytes += int64(len(data))
+			l.mu.Unlock()
+			l.drainPreallocs()
+			l.usage.AddBlock(stripe, EntrySize(len(data)))
+			l.usage.AddRecord(stripe, EntrySize(len(rec)))
+			return addr, nil
+		}
+		sealed := l.sealCurrentLocked(false)
+		l.mu.Unlock()
+		l.ship(sealed)
+	}
+}
+
+// DeleteBlock marks a block deleted: a deletion record is appended and
+// the block's space becomes reclaimable by the cleaner. The block's
+// length must be supplied (services know it from their metadata).
+func (l *Log) DeleteBlock(addr BlockAddr, length uint32, svc ServiceID) error {
+	rec := EncodeDeleteRecord(&DeleteRecord{Addr: addr, Len: length})
+	recAddr, err := l.append(EntryDelete, svc, rec)
+	if err != nil {
+		return err
+	}
+	l.usage.AddRecord(l.stripeOf(recAddr.FID.Seq()), EntrySize(len(rec)))
+	l.usage.DeleteBlock(l.stripeOf(addr.FID.Seq()), EntrySize(int(length)))
+	return nil
+}
+
+// AppendRecord appends a service-defined record and returns its position.
+// Record writes are atomic and ordered (§2.1.1): the storage server's
+// atomic fragment store provides atomicity, and the single append point
+// provides ordering.
+func (l *Log) AppendRecord(svc ServiceID, payload []byte) (BlockAddr, error) {
+	if len(payload) > l.MaxBlockSize() {
+		return BlockAddr{}, fmt.Errorf("%w: record %d > %d", ErrBlockTooLarge, len(payload), l.MaxBlockSize())
+	}
+	addr, err := l.append(EntryRecord, svc, payload)
+	if err != nil {
+		return BlockAddr{}, err
+	}
+	l.usage.AddRecord(l.stripeOf(addr.FID.Seq()), EntrySize(len(payload)))
+	l.mu.Lock()
+	l.stats.RecordsAppended++
+	l.mu.Unlock()
+	return addr, nil
+}
+
+// append places one entry in the log, sealing and shipping fragments as
+// they fill. It blocks when the per-server pipeline is full — the
+// backpressure that implements the prototype's flow control.
+func (l *Log) append(kind EntryKind, svc ServiceID, payload []byte) (BlockAddr, error) {
+	need := EntrySize(len(payload))
+	if need > l.payloadSize {
+		return BlockAddr{}, fmt.Errorf("%w: entry of %d bytes", ErrBlockTooLarge, len(payload))
+	}
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return BlockAddr{}, ErrClosed
+		}
+		if l.cur == nil {
+			l.openFragmentLocked()
+		}
+		if l.cur.off+need <= l.payloadSize {
+			fb := l.cur
+			addr := BlockAddr{FID: fb.fid, Off: uint32(fb.off)}
+			fb.off = AppendEntry(fb.payload, fb.off, kind, svc, payload)
+			l.mu.Unlock()
+			l.drainPreallocs()
+			return addr, nil
+		}
+		sealed := l.sealCurrentLocked(false)
+		l.mu.Unlock()
+		l.ship(sealed)
+	}
+}
+
+func (l *Log) openFragmentLocked() {
+	l.seq = l.nextDataSeq(l.seq)
+	fid := wire.MakeFID(l.client, l.seq)
+	stripe := l.stripeOf(l.seq)
+	l.cur = &fragBuilder{
+		fid:     fid,
+		stripe:  stripe,
+		index:   uint8(l.seq % uint64(l.width)),
+		payload: make([]byte, l.payloadSize),
+	}
+	l.seq++
+	if l.cfg.PreallocStripes && !l.prealloced[stripe] {
+		l.prealloced[stripe] = true
+		l.needPre = append(l.needPre, stripe)
+	}
+}
+
+// sealCurrentLocked closes the open fragment (if any) and returns the
+// fragments to ship: the data fragment, plus the stripe's parity fragment
+// when this was the stripe's last data member.
+func (l *Log) sealCurrentLocked(mark bool) []sealedFrag {
+	if l.cur == nil {
+		return nil
+	}
+	fb := l.cur
+	l.cur = nil
+	out := []sealedFrag{l.makeSealedLocked(fb, mark)}
+	if l.parity {
+		if p := l.maybeSealParityLocked(fb.stripe); p != nil {
+			out = append(out, *p)
+		}
+	} else {
+		l.usage.FragmentSealed(fb.stripe, true)
+	}
+	return out
+}
+
+func (l *Log) makeSealedLocked(fb *fragBuilder, mark bool) sealedFrag {
+	dataLen := fb.off
+	h := Header{
+		Kind:       FragData,
+		Width:      uint8(l.width),
+		Index:      fb.index,
+		FID:        fb.fid,
+		StripeID:   fb.stripe,
+		DataLen:    uint32(dataLen),
+		PayloadCRC: crc32.ChecksumIEEE(fb.payload[:dataLen]),
+	}
+	l.fillGroup(&h)
+	frame := make([]byte, HeaderSize+dataLen)
+	copy(frame, EncodeHeader(&h))
+	copy(frame[HeaderSize:], fb.payload[:dataLen])
+	conn := l.serverFor(fb.stripe, int(fb.index))
+	if l.parity {
+		l.pacc.add(int(fb.index), fb.payload[:dataLen])
+		l.usage.FragmentSealed(fb.stripe, false)
+	}
+	l.locations[fb.fid] = conn.ID()
+	l.inflight[fb.fid] = fb.payload[:dataLen]
+	l.stats.FragmentsSealed++
+	l.stats.BytesStored += int64(len(frame))
+	return sealedFrag{conn: conn, fid: fb.fid, frame: frame, mark: mark, payload: fb.payload[:dataLen]}
+}
+
+// maybeSealParityLocked emits the parity fragment if every data member of
+// stripe has been sealed.
+func (l *Log) maybeSealParityLocked(stripe uint64) *sealedFrag {
+	if l.pacc.members == 0 {
+		return nil
+	}
+	if l.stripeOf(l.nextDataSeq(l.seq)) == stripe {
+		return nil // stripe still has data slots
+	}
+	return l.sealParityLocked(stripe)
+}
+
+func (l *Log) sealParityLocked(stripe uint64) *sealedFrag {
+	pIdx := l.parityIndex(stripe)
+	var maxLen uint32
+	for _, n := range l.pacc.lens {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	fid := wire.MakeFID(l.client, stripe*uint64(l.width)+uint64(pIdx))
+	h := Header{
+		Kind:       FragParity,
+		Width:      uint8(l.width),
+		Index:      uint8(pIdx),
+		FID:        fid,
+		StripeID:   stripe,
+		DataLen:    maxLen,
+		MemberLens: l.pacc.lens,
+		PayloadCRC: crc32.ChecksumIEEE(l.pacc.buf[:maxLen]),
+	}
+	l.fillGroup(&h)
+	frame := make([]byte, HeaderSize+int(maxLen))
+	copy(frame, EncodeHeader(&h))
+	copy(frame[HeaderSize:], l.pacc.buf[:maxLen])
+	l.pacc.reset()
+	delete(l.prealloced, stripe) // stripe complete: stop tracking
+	conn := l.serverFor(stripe, pIdx)
+	l.locations[fid] = conn.ID()
+	l.usage.FragmentSealed(stripe, true)
+	l.stats.ParityFragments++
+	l.stats.BytesStored += int64(len(frame))
+	return &sealedFrag{conn: conn, fid: fid, frame: frame}
+}
+
+// closeStripeLocked seals the open fragment and pads the current stripe
+// with empty fragments so its parity can be written immediately. Used by
+// Sync and checkpoints so everything durable is also parity-protected.
+func (l *Log) closeStripeLocked(mark bool) []sealedFrag {
+	var out []sealedFrag
+	if l.cur != nil {
+		out = append(out, l.sealCurrentLocked(mark)...)
+	}
+	if !l.parity || l.pacc.members == 0 {
+		return out
+	}
+	stripe := l.stripeOf(l.nextDataSeq(l.seq))
+	// The open stripe is the one the parity accumulator belongs to; pad
+	// its remaining data slots with empty fragments.
+	for {
+		ns := l.nextDataSeq(l.seq)
+		if l.stripeOf(ns) != stripe {
+			break
+		}
+		l.seq = ns
+		l.openFragmentLocked()
+		out = append(out, l.sealCurrentLocked(false)...)
+	}
+	return out
+}
+
+// ship sends sealed fragments to their servers, blocking on per-server
+// pipeline slots (flow control), then returning while stores complete
+// asynchronously.
+func (l *Log) ship(frags []sealedFrag) {
+	l.drainPreallocs()
+	for _, f := range frags {
+		// Client-side log processing cost: marshalling and checksumming
+		// the bytes shipped, plus fixed per-fragment work.
+		if l.cfg.CPU != nil {
+			l.cfg.CPU.Process(len(f.frame))
+			l.cfg.CPU.Compute(l.cfg.FragOverhead)
+		}
+		sem := l.sems[f.conn.ID()]
+		sem <- struct{}{}
+		l.flowMu.Lock()
+		l.flowCnt++
+		l.flowMu.Unlock()
+		go func(f sealedFrag) {
+			defer func() {
+				<-sem
+				l.flowMu.Lock()
+				l.flowCnt--
+				l.flowCV.Broadcast()
+				l.flowMu.Unlock()
+			}()
+			var ranges []wire.ACLRange
+			if aid, ok := l.cfg.ACLs[f.conn.ID()]; ok {
+				ranges = []wire.ACLRange{{Off: 0, Len: uint32(len(f.frame)), AID: aid}}
+			}
+			err := f.conn.Store(f.fid, f.frame, f.mark, ranges)
+			if err != nil {
+				// One retry: a response lost after the server committed
+				// shows up as StatusExists, which is success.
+				err = f.conn.Store(f.fid, f.frame, f.mark, ranges)
+				if wire.IsStatus(err, wire.StatusExists) {
+					err = nil
+				}
+			}
+			if err != nil {
+				// Keep the payload in the read-your-writes map: the
+				// fragment is not durable (Sync will report that), but
+				// local reads keep working and the stripe's parity may
+				// still cover it for remote readers.
+				l.setErr(fmt.Errorf("store fragment %v on server %d: %w", f.fid, f.conn.ID(), err))
+				return
+			}
+			l.mu.Lock()
+			delete(l.inflight, f.fid)
+			l.mu.Unlock()
+		}(f)
+	}
+}
+
+// drainPreallocs reserves slots for any newly opened stripes. Called
+// outside the log mutex because it talks to servers. A failed
+// preallocation is recorded like an asynchronous store failure: the
+// stripe is no more at risk than it would be without preallocation.
+func (l *Log) drainPreallocs() {
+	l.mu.Lock()
+	stripes := l.needPre
+	l.needPre = nil
+	l.mu.Unlock()
+	for _, stripe := range stripes {
+		base := stripe * uint64(l.width)
+		for i := 0; i < l.width; i++ {
+			fid := wire.MakeFID(l.client, base+uint64(i))
+			conn := l.serverFor(stripe, i)
+			if err := conn.Prealloc(fid); err != nil && !wire.IsStatus(err, wire.StatusExists) {
+				l.setErr(fmt.Errorf("prealloc fragment %v on server %d: %w", fid, conn.ID(), err))
+				return
+			}
+		}
+	}
+}
+
+func (l *Log) setErr(err error) {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	if l.ioErr == nil {
+		l.ioErr = err
+	}
+}
+
+// Err returns the first asynchronous store error, if any.
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.ioErr
+}
+
+// ClearErr clears the recorded asynchronous error (after the caller has
+// handled it).
+func (l *Log) ClearErr() {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	l.ioErr = nil
+}
+
+// waitInflight blocks until every dispatched store has completed.
+func (l *Log) waitInflight() {
+	l.flowMu.Lock()
+	for l.flowCnt > 0 {
+		l.flowCV.Wait()
+	}
+	l.flowMu.Unlock()
+}
+
+// Sync seals the open fragment, closes the stripe (padding it so parity
+// covers everything written), waits for all stores to complete, and
+// reports any store error.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	sealed := l.closeStripeLocked(false)
+	l.mu.Unlock()
+	l.ship(sealed)
+	l.waitInflight()
+	return l.Err()
+}
+
+// WriteCheckpoint appends a checkpoint record for svc: the service's
+// consistent state, the log layer's directory of every service's newest
+// checkpoint, and the stripe usage table. The fragment holding the
+// checkpoint is stored *marked* so recovery can find it with a LastMarked
+// query (§2.3.1), and the stripe is closed and flushed before returning,
+// so a completed WriteCheckpoint is durable and parity-protected.
+func (l *Log) WriteCheckpoint(svc ServiceID, payload []byte) (BlockAddr, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return BlockAddr{}, ErrClosed
+	}
+	l.registered[svc] = true
+	// Compute the record size first (it doesn't depend on the address
+	// values), place the entry, then encode with the final directory.
+	probe := CheckpointRecord{
+		Directory: make(map[ServiceID]BlockAddr, len(l.ckpts)+1),
+		Payload:   payload,
+		Usage:     l.usage.Encode(),
+	}
+	for id, a := range l.ckpts {
+		probe.Directory[id] = a
+	}
+	probe.Directory[svc] = BlockAddr{}
+	need := EntrySize(len(EncodeCheckpointRecord(&probe)))
+	if need > l.payloadSize {
+		l.mu.Unlock()
+		return BlockAddr{}, fmt.Errorf("%w: checkpoint of %d bytes", ErrBlockTooLarge, len(payload))
+	}
+	var preSealed []sealedFrag
+	if l.cur == nil {
+		l.openFragmentLocked()
+	}
+	if l.cur.off+need > l.payloadSize {
+		preSealed = l.sealCurrentLocked(false)
+		l.openFragmentLocked()
+	}
+	fb := l.cur
+	addr := BlockAddr{FID: fb.fid, Off: uint32(fb.off)}
+	probe.Directory[svc] = addr
+	rec := EncodeCheckpointRecord(&probe)
+	fb.off = AppendEntry(fb.payload, fb.off, EntryCheckpoint, svc, rec)
+	l.usage.AddRecord(l.stripeOf(addr.FID.Seq()), EntrySize(len(rec)))
+	l.ckpts[svc] = addr
+	l.stats.Checkpoints++
+	sealed := append(preSealed, l.closeStripeLocked(true)...)
+	l.mu.Unlock()
+	l.ship(sealed)
+	l.waitInflight()
+	if err := l.Err(); err != nil {
+		return BlockAddr{}, err
+	}
+	return addr, nil
+}
+
+// Checkpoint returns svc's latest checkpoint address, if any.
+func (l *Log) Checkpoint(svc ServiceID) (BlockAddr, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.ckpts[svc]
+	return a, ok
+}
+
+// CheckpointFloor returns the oldest checkpoint position across all
+// registered services. Stripes wholly below the floor contain no records
+// that could be replayed, so the cleaner may reclaim them (§2.1.4). A
+// registered service that has never checkpointed pins the floor at zero.
+func (l *Log) CheckpointFloor() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	floor := Pos{Seq: ^uint64(0)}
+	if len(l.registered) == 0 {
+		return Pos{}
+	}
+	for svc := range l.registered {
+		a, ok := l.ckpts[svc]
+		if !ok {
+			return Pos{}
+		}
+		if p := PosOf(a); p.Less(floor) {
+			floor = p
+		}
+	}
+	return floor
+}
+
+// ReclaimStripe deletes every fragment of a closed stripe from the
+// servers and drops its usage entry. The cleaner calls this after moving
+// the stripe's live blocks.
+func (l *Log) ReclaimStripe(stripe uint64) error {
+	l.mu.Lock()
+	if curStripe := l.stripeOf(l.nextDataSeq(l.seq)); stripe >= curStripe {
+		l.mu.Unlock()
+		return fmt.Errorf("core: stripe %d is still active", stripe)
+	}
+	base := stripe * uint64(l.width)
+	fids := make([]wire.FID, 0, l.width)
+	for i := 0; i < l.width; i++ {
+		fids = append(fids, wire.MakeFID(l.client, base+uint64(i)))
+	}
+	l.mu.Unlock()
+
+	var firstErr error
+	for i, fid := range fids {
+		conn := l.serverFor(stripe, i)
+		err := conn.Delete(fid)
+		if err != nil && !wire.IsStatus(err, wire.StatusNotFound) {
+			// Try the recorded location before giving up (placement may
+			// predate a configuration change).
+			if alt := l.lookupConn(fid); alt != nil && alt != conn {
+				err = alt.Delete(fid)
+			}
+		}
+		if err != nil && !wire.IsStatus(err, wire.StatusNotFound) && firstErr == nil {
+			firstErr = fmt.Errorf("delete fragment %v: %w", fid, err)
+		}
+		l.mu.Lock()
+		delete(l.locations, fid)
+		delete(l.prealloced, stripe)
+		l.mu.Unlock()
+		l.recon.drop(fid)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	l.usage.Drop(stripe)
+	return nil
+}
+
+func (l *Log) lookupConn(fid wire.FID) transport.ServerConn {
+	l.mu.Lock()
+	id, ok := l.locations[fid]
+	l.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return l.byServer[id]
+}
+
+// Close syncs and shuts the log down.
+func (l *Log) Close() error {
+	err := l.Sync()
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return l.Err()
+}
+
+// NextPos returns the position where the next entry will be appended
+// (exposed for tests and the cleaner's progress accounting).
+func (l *Log) NextPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur != nil {
+		return Pos{Seq: l.cur.fid.Seq(), Off: uint32(l.cur.off)}
+	}
+	return Pos{Seq: l.nextDataSeq(l.seq)}
+}

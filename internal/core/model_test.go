@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomizedLogModel drives the log with a random operation mix —
+// appends, deletes, records, checkpoints, syncs, server failures, and
+// client crashes — and checks it against an in-memory model after every
+// recovery: every block the model says is durable must read back intact,
+// and replay must deliver exactly the post-checkpoint records.
+func TestRandomizedLogModel(t *testing.T) {
+	seeds, stepsN := int64(5), 120
+	if !testing.Short() {
+		seeds, stepsN = 10, 300
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runLogModel(t, rand.New(rand.NewSource(seed)), stepsN)
+		})
+	}
+}
+
+type modelBlock struct {
+	addr    BlockAddr
+	data    []byte
+	durable bool
+}
+
+func runLogModel(t *testing.T, rng *rand.Rand, steps int) {
+	t.Helper()
+	c := newTestCluster(t, 4)
+	l, _ := c.open(t, Config{})
+	const svc = ServiceID(7)
+
+	var (
+		blocks  []*modelBlock // live blocks, in append order
+		records []string      // service records appended since last checkpoint (durable or not)
+		durRecs []string      // durable post-checkpoint records
+		ckpt    []byte        // last checkpoint payload
+	)
+
+	markDurable := func() {
+		for _, b := range blocks {
+			b.durable = true
+		}
+		durRecs = append([]string(nil), records...)
+	}
+
+	verifyDurable := func() {
+		for i, b := range blocks {
+			if !b.durable {
+				continue
+			}
+			got, err := l.Read(b.addr, 0, uint32(len(b.data)))
+			if err != nil {
+				t.Fatalf("durable block %d (%v) unreadable: %v", i, b.addr, err)
+			}
+			if !bytes.Equal(got, b.data) {
+				t.Fatalf("durable block %d (%v) corrupted", i, b.addr)
+			}
+		}
+	}
+
+	crash := func() {
+		// Reopen; verify checkpoint + replayed records match the model.
+		l2, rec := c.open(t, Config{})
+		svcRec := rec.Service(svc)
+		if ckpt != nil {
+			if !svcRec.HasCheckpoint || !bytes.Equal(svcRec.Checkpoint, ckpt) {
+				t.Fatalf("checkpoint mismatch: got %q (has=%v), want %q",
+					svcRec.Checkpoint, svcRec.HasCheckpoint, ckpt)
+			}
+		}
+		var replayed []string
+		for _, r := range svcRec.Records {
+			if r.Kind == EntryRecord {
+				replayed = append(replayed, string(r.Payload))
+			}
+		}
+		// Replay must deliver at least the records that were explicitly
+		// made durable, possibly more (fragments seal and ship on their
+		// own as they fill), and always in order: replayed must extend
+		// durRecs and be a prefix of everything appended.
+		if len(replayed) < len(durRecs) {
+			t.Fatalf("replayed %d records, want >= %d (%v vs %v)", len(replayed), len(durRecs), replayed, durRecs)
+		}
+		if len(replayed) > len(records) {
+			t.Fatalf("replayed %d records, only %d were ever appended", len(replayed), len(records))
+		}
+		for i := range replayed {
+			if replayed[i] != records[i] {
+				t.Fatalf("record %d = %q, want %q", i, replayed[i], records[i])
+			}
+		}
+		durRecs = append([]string(nil), replayed...)
+		// Undurable blocks are forgotten by the model (their writes never
+		// happened as far as a recovered client is concerned).
+		kept := blocks[:0]
+		for _, b := range blocks {
+			if b.durable {
+				kept = append(kept, b)
+			}
+		}
+		blocks = kept
+		records = append([]string(nil), durRecs...)
+		l = l2
+		verifyDurable()
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // append a block
+			n := rng.Intn(900) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			addr, err := l.AppendBlock(svc, data, []byte{byte(step)})
+			if err != nil {
+				t.Fatalf("step %d append: %v", step, err)
+			}
+			blocks = append(blocks, &modelBlock{addr: addr, data: data})
+
+		case op < 60: // append a service record
+			payload := []byte{byte(step), byte(step >> 8), 0xAB}
+			if _, err := l.AppendRecord(svc, payload); err != nil {
+				t.Fatalf("step %d record: %v", step, err)
+			}
+			records = append(records, string(payload))
+
+		case op < 70: // delete a random live block
+			if len(blocks) == 0 {
+				continue
+			}
+			i := rng.Intn(len(blocks))
+			b := blocks[i]
+			if err := l.DeleteBlock(b.addr, uint32(len(b.data)), svc); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			blocks = append(blocks[:i], blocks[i+1:]...)
+
+		case op < 80: // sync: everything becomes durable
+			if err := l.Sync(); err != nil {
+				t.Fatalf("step %d sync: %v", step, err)
+			}
+			markDurable()
+			verifyDurable()
+
+		case op < 88: // checkpoint: durable + clears the replay set
+			ckpt = []byte{0xCC, byte(step)}
+			if _, err := l.WriteCheckpoint(svc, ckpt); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+			markDurable()
+			records = nil
+			durRecs = nil
+
+		case op < 94: // transient single-server failure during reads
+			if err := l.Sync(); err != nil {
+				t.Fatalf("step %d sync: %v", step, err)
+			}
+			markDurable()
+			k := rng.Intn(len(c.flaky))
+			c.flaky[k].SetDown(true)
+			verifyDurable()
+			c.flaky[k].SetDown(false)
+
+		default: // client crash + recovery
+			crash()
+		}
+	}
+	crash()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "encoding/binary"
+
+// XORInto accumulates src into dst (dst ^= src). src may be shorter than
+// dst; missing bytes are treated as zero, which is exactly the padding
+// rule for short fragments in a stripe.
+func XORInto(dst, src []byte) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	dst = dst[:n]
+	src = src[:n]
+	// Word-at-a-time for the bulk; parity runs over every data byte
+	// written, so this is the client's hottest loop.
+	for len(dst) >= 8 {
+		d := binary.LittleEndian.Uint64(dst)
+		s := binary.LittleEndian.Uint64(src)
+		binary.LittleEndian.PutUint64(dst, d^s)
+		dst = dst[8:]
+		src = src[8:]
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// parityAccum incrementally computes a stripe's parity payload as data
+// fragments are sealed, so parity is ready the moment the stripe closes
+// ("a stripe's parity is computed as its fragments are written", §2.1.2).
+type parityAccum struct {
+	buf     []byte
+	lens    [MaxWidth]uint32
+	members int
+}
+
+func newParityAccum(payloadSize int) *parityAccum {
+	return &parityAccum{buf: make([]byte, payloadSize)}
+}
+
+// add folds one sealed data payload into the accumulator.
+func (p *parityAccum) add(index int, payload []byte) {
+	XORInto(p.buf, payload)
+	p.lens[index] = uint32(len(payload))
+	p.members++
+}
+
+// reset clears the accumulator for the next stripe.
+func (p *parityAccum) reset() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	p.lens = [MaxWidth]uint32{}
+	p.members = 0
+}
+
+// ReconstructPayload rebuilds one missing member's payload from the
+// parity payload and the other members' payloads. The caller passes the
+// missing member's data length (from the parity header's MemberLens).
+func ReconstructPayload(parity []byte, others [][]byte, missingLen uint32) []byte {
+	out := make([]byte, len(parity))
+	copy(out, parity)
+	for _, p := range others {
+		XORInto(out, p)
+	}
+	return out[:missingLen]
+}

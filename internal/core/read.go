@@ -1,0 +1,386 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// fragCache holds recently reconstructed fragments so a stream of reads
+// against a failed server doesn't redo the XOR per block.
+type fragCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[wire.FID]cachedFrag
+	fifo []wire.FID
+}
+
+type cachedFrag struct {
+	header  Header
+	payload []byte
+}
+
+func newFragCache(capacity int) *fragCache {
+	return &fragCache{cap: capacity, m: make(map[wire.FID]cachedFrag, capacity)}
+}
+
+func (c *fragCache) get(fid wire.FID) (cachedFrag, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.m[fid]
+	return f, ok
+}
+
+func (c *fragCache) put(fid wire.FID, f cachedFrag) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[fid]; ok {
+		c.m[fid] = f
+		return
+	}
+	for len(c.m) >= c.cap && len(c.fifo) > 0 {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.m, old)
+	}
+	c.m[fid] = f
+	c.fifo = append(c.fifo, fid)
+}
+
+func (c *fragCache) drop(fid wire.FID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, fid)
+}
+
+// Read returns n bytes starting at off within the block at addr. The fast
+// paths serve from the open fragment buffer or in-flight fragments
+// (read-your-writes); otherwise the block's server is contacted, and if it
+// is unavailable the fragment is reconstructed from its stripe (§2.3.3).
+func (l *Log) Read(addr BlockAddr, off, n uint32) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	// Local paths: open fragment or sealed-but-inflight payloads.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var local []byte
+	if l.cur != nil && l.cur.fid == addr.FID {
+		local = l.cur.payload[:l.cur.off]
+	} else if p, ok := l.inflight[addr.FID]; ok {
+		local = p
+	}
+	if local != nil {
+		start := int(addr.Off) + EntryHdrSize + int(off)
+		end := start + int(n)
+		if end > len(local) {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("%w: read [%d,%d) beyond fragment data %d", ErrBadFragment, start, end, len(local))
+		}
+		out := make([]byte, n)
+		copy(out, local[start:end])
+		l.mu.Unlock()
+		return out, nil
+	}
+	l.mu.Unlock()
+
+	// Reconstructed-fragment cache.
+	if f, ok := l.recon.get(addr.FID); ok {
+		return sliceBlock(f.payload, addr, off, n)
+	}
+
+	// Remote path. With readahead enabled, fetch and cache the whole
+	// fragment: sequential cold reads then cost one round trip per
+	// fragment instead of one per block.
+	if l.readahead {
+		h, payload, err := l.FetchFragment(addr.FID)
+		if err != nil {
+			return nil, err
+		}
+		l.recon.put(addr.FID, cachedFrag{header: h, payload: payload})
+		return sliceBlock(payload, addr, off, n)
+	}
+	conn := l.lookupConn(addr.FID)
+	if conn != nil {
+		data, err := conn.Read(addr.FID, HeaderSize+addr.Off+EntryHdrSize+off, n)
+		if err == nil {
+			return data, nil
+		}
+		if isHardReadError(err) {
+			return nil, err
+		}
+		// Server unavailable or fragment missing: fall through.
+	}
+	h, payload, err := l.reconstructFragment(addr.FID)
+	if err != nil {
+		return nil, err
+	}
+	l.recon.put(addr.FID, cachedFrag{header: h, payload: payload})
+	return sliceBlock(payload, addr, off, n)
+}
+
+// isHardReadError reports errors that reconstruction cannot help with
+// (bad request, access denied).
+func isHardReadError(err error) bool {
+	return wire.IsStatus(err, wire.StatusBadRequest) || wire.IsStatus(err, wire.StatusAccess)
+}
+
+func sliceBlock(payload []byte, addr BlockAddr, off, n uint32) ([]byte, error) {
+	start := int(addr.Off) + EntryHdrSize + int(off)
+	end := start + int(n)
+	if start > len(payload) || end > len(payload) {
+		return nil, fmt.Errorf("%w: read [%d,%d) beyond fragment data %d", ErrBadFragment, start, end, len(payload))
+	}
+	out := make([]byte, n)
+	copy(out, payload[start:end])
+	return out, nil
+}
+
+// FetchFragment returns a fragment's header and payload, reconstructing
+// if its server is unavailable. The cleaner and recovery scan use it.
+func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
+	// Local copies first.
+	l.mu.Lock()
+	if l.cur != nil && l.cur.fid == fid {
+		fb := l.cur
+		h := Header{
+			Kind: FragData, Width: uint8(l.width), Index: fb.index,
+			FID: fb.fid, StripeID: fb.stripe, DataLen: uint32(fb.off),
+		}
+		l.fillGroup(&h)
+		payload := make([]byte, fb.off)
+		copy(payload, fb.payload[:fb.off])
+		l.mu.Unlock()
+		return h, payload, nil
+	}
+	l.mu.Unlock()
+
+	if f, ok := l.recon.get(fid); ok {
+		return f.header, f.payload, nil
+	}
+	if h, payload, err := l.fetchDirect(fid); err == nil {
+		return h, payload, nil
+	}
+	h, payload, err := l.reconstructFragment(fid)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	l.recon.put(fid, cachedFrag{header: h, payload: payload})
+	return h, payload, nil
+}
+
+// fetchDirect reads a fragment from the server believed to hold it,
+// falling back to broadcast discovery — the self-hosting mechanism that
+// needs no fragment directory (§2.3.3).
+func (l *Log) fetchDirect(fid wire.FID) (Header, []byte, error) {
+	conn := l.lookupConn(fid)
+	if conn == nil {
+		found := transport.Broadcast(l.servers, fid)
+		if len(found) == 0 {
+			return Header{}, nil, fmt.Errorf("%w: fragment %v not found on any server", ErrLost, fid)
+		}
+		conn = found[0]
+		l.mu.Lock()
+		l.locations[fid] = conn.ID()
+		l.stats.BroadcastFallback++
+		l.mu.Unlock()
+	}
+	return readFragmentFrom(conn, fid)
+}
+
+func readFragmentFrom(conn transport.ServerConn, fid wire.FID) (Header, []byte, error) {
+	hdrBytes, err := conn.Read(fid, 0, HeaderSize)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h, err := DecodeHeader(hdrBytes)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.FID != fid {
+		return Header{}, nil, fmt.Errorf("%w: fragment %v claims FID %v", ErrBadFragment, fid, h.FID)
+	}
+	if h.DataLen == 0 {
+		return h, nil, nil
+	}
+	payload, err := conn.Read(fid, HeaderSize, h.DataLen)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != h.PayloadCRC {
+		// A corrupted replica is as good as a missing one; callers fall
+		// back to reconstruction from the stripe.
+		return Header{}, nil, fmt.Errorf("%w: fragment %v payload checksum mismatch", ErrBadFragment, fid)
+	}
+	return h, payload, nil
+}
+
+// reconstructFragment rebuilds a missing fragment from the surviving
+// members of its stripe. Clients reconstruct the fragments they need;
+// servers never participate and never learn a reconstruction happened
+// (§2.3.3). The stripe is discovered by broadcasting for a neighboring
+// fragment — numbering within a stripe is consecutive, so a sibling is
+// within MaxWidth-1 sequence numbers — and reading the stripe group from
+// its header.
+func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
+	sib, err := l.findSibling(fid)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	base := sib.BaseSeq()
+	width := int(sib.Width)
+	missIdx := int(fid.Seq() - base)
+	if missIdx < 0 || missIdx >= width {
+		return Header{}, nil, fmt.Errorf("%w: sibling stripe does not contain %v", ErrLost, fid)
+	}
+	parityIdx := int(sib.StripeID % uint64(width))
+
+	// Fetch every surviving member. All must be present: parity
+	// tolerates exactly one missing fragment per stripe.
+	var (
+		parityHdr     Header
+		parityPayload []byte
+		others        [][]byte
+	)
+	for i := 0; i < width; i++ {
+		mfid := sib.MemberFID(i)
+		if i == missIdx {
+			continue
+		}
+		h, payload, ferr := l.fetchMember(sib, i)
+		if ferr != nil {
+			return Header{}, nil, fmt.Errorf("%w: stripe member %v also unavailable: %v", ErrLost, mfid, ferr)
+		}
+		if i == parityIdx {
+			parityHdr, parityPayload = h, payload
+		} else {
+			others = append(others, payload)
+		}
+	}
+
+	if missIdx == parityIdx {
+		// Rebuilding the parity fragment itself: XOR the data members.
+		full := make([]byte, l.payloadSize)
+		var lens [MaxWidth]uint32
+		var maxLen uint32
+		for _, p := range others {
+			XORInto(full, p)
+		}
+		// Member lens come from each surviving member's payload length.
+		j := 0
+		for i := 0; i < width; i++ {
+			if i == missIdx {
+				continue
+			}
+			lens[i] = uint32(len(others[j]))
+			if lens[i] > maxLen {
+				maxLen = lens[i]
+			}
+			j++
+		}
+		h := Header{
+			Kind: FragParity, Width: uint8(width), Index: uint8(missIdx),
+			FID: fid, StripeID: sib.StripeID, DataLen: maxLen,
+			Group: sib.Group, MemberLens: lens,
+			PayloadCRC: crc32.ChecksumIEEE(full[:maxLen]),
+		}
+		l.bumpReconStat()
+		return h, full[:maxLen], nil
+	}
+
+	if len(parityPayload) == 0 && parityHdr.Kind != FragParity {
+		return Header{}, nil, fmt.Errorf("%w: no parity fragment for stripe %d", ErrLost, sib.StripeID)
+	}
+	missingLen := parityHdr.MemberLens[missIdx]
+	full := make([]byte, l.payloadSize)
+	copy(full, parityPayload)
+	for _, p := range others {
+		XORInto(full, p)
+	}
+	h := Header{
+		Kind: FragData, Width: uint8(width), Index: uint8(missIdx),
+		FID: fid, StripeID: sib.StripeID, DataLen: missingLen,
+		Group:      sib.Group,
+		PayloadCRC: crc32.ChecksumIEEE(full[:missingLen]),
+	}
+	l.bumpReconStat()
+	return h, full[:missingLen], nil
+}
+
+func (l *Log) bumpReconStat() {
+	l.mu.Lock()
+	l.stats.Reconstructions++
+	l.mu.Unlock()
+}
+
+// fetchMember reads stripe member i using the sibling header's group
+// information, falling back to broadcast.
+func (l *Log) fetchMember(sib *Header, i int) (Header, []byte, error) {
+	mfid := sib.MemberFID(i)
+	if conn, ok := l.byServer[sib.Group[i]]; ok {
+		if h, p, err := readFragmentFrom(conn, mfid); err == nil {
+			return h, p, nil
+		}
+	}
+	return l.fetchDirect(mfid)
+}
+
+// findSibling locates any other fragment of fid's stripe and returns its
+// header. Per the paper: "If fragment N needs to be reconstructed, then
+// either fragment N-1 or fragment N+1 is in the same stripe. A client
+// finds fragment N-1 and N+1 by broadcasting to all storage servers."
+func (l *Log) findSibling(fid wire.FID) (*Header, error) {
+	seq := fid.Seq()
+	for delta := uint64(1); delta < MaxWidth; delta++ {
+		for _, cand := range []int64{int64(seq) - int64(delta), int64(seq) + int64(delta)} {
+			if cand < 0 {
+				continue
+			}
+			cfid := wire.MakeFID(fid.Client(), uint64(cand))
+			h, _, err := l.fetchSiblingHeader(cfid)
+			if err != nil {
+				continue
+			}
+			base := h.BaseSeq()
+			if seq >= base && seq < base+uint64(h.Width) {
+				return h, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no stripe sibling found for %v", ErrLost, fid)
+}
+
+func (l *Log) fetchSiblingHeader(fid wire.FID) (*Header, []byte, error) {
+	conn := l.lookupConn(fid)
+	if conn == nil {
+		found := transport.Broadcast(l.servers, fid)
+		if len(found) == 0 {
+			return nil, nil, errors.New("not found")
+		}
+		conn = found[0]
+	}
+	hdrBytes, err := conn.Read(fid, 0, HeaderSize)
+	if err != nil {
+		// The recorded location may be a down server; try broadcast once.
+		found := transport.Broadcast(l.servers, fid)
+		if len(found) == 0 {
+			return nil, nil, err
+		}
+		hdrBytes, err = found[0].Read(fid, 0, HeaderSize)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	h, err := DecodeHeader(hdrBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &h, nil, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// RebuildServer restores redundancy after a storage server has been
+// replaced with an empty one: every fragment of this log that belongs on
+// the server (by placement) but is missing gets reconstructed from its
+// stripe and stored back. Returns the number of fragments rebuilt.
+//
+// Rebuilding is client-driven like everything else in Swarm — the
+// replacement server is an ordinary empty fragment repository and never
+// learns it is being rebuilt. Each client rebuilds its own fragments;
+// run this once per client after swapping hardware.
+func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
+	conn, ok := l.byServer[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: server %d not in configuration", ErrConfig, id)
+	}
+	// What the server already has.
+	present := make(map[wire.FID]bool)
+	fids, err := conn.List(l.client)
+	if err != nil {
+		return 0, fmt.Errorf("list server %d: %w", id, err)
+	}
+	for _, fid := range fids {
+		present[fid] = true
+	}
+	// What exists anywhere (the stripe population).
+	known := make(map[uint64]bool)
+	for _, sc := range l.servers {
+		all, err := sc.List(l.client)
+		if err != nil {
+			continue
+		}
+		for _, fid := range all {
+			known[fid.Seq()] = true
+		}
+	}
+
+	rebuilt := 0
+	for stripe := range l.stripesOf(known) {
+		for idx := 0; idx < l.width; idx++ {
+			if l.serverFor(stripe, idx).ID() != id {
+				continue
+			}
+			fid := wire.MakeFID(l.client, stripe*uint64(l.width)+uint64(idx))
+			if present[fid] {
+				continue
+			}
+			// Does the stripe have any surviving member to rebuild from?
+			if !l.stripeKnown(known, stripe, fid.Seq()) {
+				continue
+			}
+			h, payload, err := l.reconstructFragment(fid)
+			if err != nil {
+				return rebuilt, fmt.Errorf("reconstruct %v: %w", fid, err)
+			}
+			frame := make([]byte, HeaderSize+len(payload))
+			copy(frame, EncodeHeader(&h))
+			copy(frame[HeaderSize:], payload)
+			if err := conn.Store(fid, frame, false, l.rangesFor(conn, len(frame))); err != nil {
+				if wire.IsStatus(err, wire.StatusExists) {
+					continue // raced with another writer; fine
+				}
+				return rebuilt, fmt.Errorf("store rebuilt %v: %w", fid, err)
+			}
+			l.mu.Lock()
+			l.locations[fid] = id
+			l.mu.Unlock()
+			rebuilt++
+		}
+	}
+	return rebuilt, nil
+}
+
+// rangesFor returns the ACL ranges to apply when storing a whole frame to
+// conn, mirroring the write path's protection.
+func (l *Log) rangesFor(conn transport.ServerConn, frameLen int) []wire.ACLRange {
+	if aid, ok := l.cfg.ACLs[conn.ID()]; ok {
+		return []wire.ACLRange{{Off: 0, Len: uint32(frameLen), AID: aid}}
+	}
+	return nil
+}
+
+// stripesOf collects the stripe IDs covered by a set of known sequence
+// numbers.
+func (l *Log) stripesOf(known map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for seq := range known {
+		out[l.stripeOf(seq)] = true
+	}
+	return out
+}
+
+// stripeKnown reports whether the stripe has a surviving member other
+// than the missing sequence number.
+func (l *Log) stripeKnown(known map[uint64]bool, stripe uint64, missing uint64) bool {
+	base := stripe * uint64(l.width)
+	for i := uint64(0); i < uint64(l.width); i++ {
+		if base+i != missing && known[base+i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// replaceServer swaps cluster server k with a fresh empty store at the
+// same ID, simulating a hardware replacement.
+func (c *cluster) replaceServer(t *testing.T, k int) {
+	t.Helper()
+	d := disk.NewMemDisk(4 << 20)
+	st, err := server.Format(d, server.Config{FragmentSize: testFragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := transport.NewFlaky(transport.NewLocal(wire.ServerID(k+1), st, testClient))
+	c.stores[k] = st
+	c.flaky[k] = fl
+	c.conns[k] = fl
+}
+
+func TestRebuildServerRestoresRedundancy(t *testing.T) {
+	c := newTestCluster(t, 4)
+	l, _ := c.open(t, Config{})
+	var addrs []BlockAddr
+	for i := 0; i < 60; i++ {
+		addrs = append(addrs, mustAppend(t, l, 7, blockPattern(i, 600)))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace server 2 (ID 3) with empty hardware.
+	const victim = 2
+	c.replaceServer(t, victim)
+
+	// A fresh client session sees the gap and rebuilds it.
+	l2, _ := c.open(t, Config{})
+	defer l2.Close()
+	rebuilt, err := l2.RebuildServer(wire.ServerID(victim + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == 0 {
+		t.Fatal("nothing rebuilt")
+	}
+	// Redundancy is restored: kill a DIFFERENT server and everything
+	// must still be readable (which requires the rebuilt fragments).
+	c.flaky[0].SetDown(true)
+	defer c.flaky[0].SetDown(false)
+	for i, addr := range addrs {
+		got, err := l2.Read(addr, 0, 600)
+		if err != nil {
+			t.Fatalf("read %d after rebuild with another server down: %v", i, err)
+		}
+		if !bytes.Equal(got, blockPattern(i, 600)) {
+			t.Fatalf("block %d corrupted after rebuild", i)
+		}
+	}
+	// Parity checks out on every closed stripe.
+	for _, s := range l2.usage.Stripes() {
+		u, _ := l2.usage.Get(s)
+		if !u.Closed {
+			continue
+		}
+		c.flaky[0].SetDown(false)
+		if err := l2.VerifyStripe(s); err != nil {
+			t.Fatalf("stripe %d after rebuild: %v", s, err)
+		}
+	}
+}
+
+func TestRebuildServerIdempotent(t *testing.T) {
+	c := newTestCluster(t, 3)
+	l, _ := c.open(t, Config{})
+	defer l.Close()
+	for i := 0; i < 30; i++ {
+		mustAppend(t, l, 7, blockPattern(i, 500))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing missing: rebuild is a no-op.
+	n, err := l.RebuildServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("rebuilt %d fragments on a healthy server", n)
+	}
+	// Unknown server id errors.
+	if _, err := l.RebuildServer(99); err == nil {
+		t.Fatal("rebuild of unknown server succeeded")
+	}
+}

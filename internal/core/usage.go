@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"swarm/internal/wire"
+)
+
+// StripeUsage summarizes one stripe for the cleaner: how many bytes were
+// ever written to it and how many are still live. The cleaner's
+// cost-benefit policy runs on Live/Total utilization.
+type StripeUsage struct {
+	// Live is the byte count of block entries not yet deleted.
+	Live int64
+	// Total is the byte count of all entries written to the stripe.
+	Total int64
+	// Fragments is the number of fragments sealed into the stripe.
+	Fragments int
+	// Closed reports that the stripe is complete (its parity, when
+	// enabled, has been written). Only closed stripes are cleanable.
+	Closed bool
+}
+
+// Utilization returns Live/Total (0 for empty stripes).
+func (u StripeUsage) Utilization() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Live) / float64(u.Total)
+}
+
+// UsageTable tracks per-stripe usage. It is persisted inside checkpoint
+// records (the log layer's contribution to every service checkpoint) and
+// rolled forward from create/delete records during recovery, so the
+// cleaner never rescans the whole log to find garbage.
+type UsageTable struct {
+	mu sync.Mutex
+	m  map[uint64]*StripeUsage
+}
+
+// NewUsageTable returns an empty table.
+func NewUsageTable() *UsageTable {
+	return &UsageTable{m: make(map[uint64]*StripeUsage)}
+}
+
+func (t *UsageTable) get(stripe uint64) *StripeUsage {
+	u, ok := t.m[stripe]
+	if !ok {
+		u = &StripeUsage{}
+		t.m[stripe] = u
+	}
+	return u
+}
+
+// AddBlock accounts a live block of n entry bytes in stripe.
+func (t *UsageTable) AddBlock(stripe uint64, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u := t.get(stripe)
+	u.Live += int64(n)
+	u.Total += int64(n)
+}
+
+// AddRecord accounts n entry bytes of records (dead weight once
+// checkpointed) in stripe.
+func (t *UsageTable) AddRecord(stripe uint64, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.get(stripe).Total += int64(n)
+}
+
+// DeleteBlock accounts the deletion of a block of n entry bytes from
+// stripe.
+func (t *UsageTable) DeleteBlock(stripe uint64, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u := t.get(stripe)
+	u.Live -= int64(n)
+	if u.Live < 0 {
+		u.Live = 0
+	}
+}
+
+// FragmentSealed records a sealed fragment for stripe; closed marks the
+// stripe complete.
+func (t *UsageTable) FragmentSealed(stripe uint64, closed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u := t.get(stripe)
+	u.Fragments++
+	if closed {
+		u.Closed = true
+	}
+}
+
+// Drop removes a stripe (after the cleaner reclaims it).
+func (t *UsageTable) Drop(stripe uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, stripe)
+}
+
+// Get returns a stripe's usage and whether it is tracked.
+func (t *UsageTable) Get(stripe uint64) (StripeUsage, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u, ok := t.m[stripe]
+	if !ok {
+		return StripeUsage{}, false
+	}
+	return *u, true
+}
+
+// Snapshot returns a copy of the table keyed by stripe ID.
+func (t *UsageTable) Snapshot() map[uint64]StripeUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint64]StripeUsage, len(t.m))
+	for k, v := range t.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// Stripes returns tracked stripe IDs in ascending order.
+func (t *UsageTable) Stripes() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint64, 0, len(t.m))
+	for k := range t.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Encode serializes the table for inclusion in a checkpoint record.
+func (t *UsageTable) Encode() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]uint64, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e := wire.NewEncoder(8 + len(keys)*33)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		u := t.m[k]
+		e.U64(k)
+		e.U64(uint64(u.Live))
+		e.U64(uint64(u.Total))
+		e.U32(uint32(u.Fragments))
+		e.Bool(u.Closed)
+	}
+	return e.Bytes()
+}
+
+// DecodeUsageTable parses a table serialized by Encode.
+func DecodeUsageTable(p []byte) (*UsageTable, error) {
+	d := wire.NewDecoder(p)
+	n := d.U32()
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: usage table with %d stripes", ErrBadFragment, n)
+	}
+	t := NewUsageTable()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		k := d.U64()
+		t.m[k] = &StripeUsage{
+			Live:      int64(d.U64()),
+			Total:     int64(d.U64()),
+			Fragments: int(d.U32()),
+			Closed:    d.Bool(),
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: usage table: %v", ErrBadFragment, err)
+	}
+	return t, nil
+}

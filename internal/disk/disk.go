@@ -1,0 +1,41 @@
+// Package disk provides the block-storage substrate under a Swarm storage
+// server: a small Disk interface plus three implementations — an in-memory
+// disk for tests, a file-backed disk for real deployments, and a simulated
+// disk that charges seek, rotation, and transfer time according to the
+// performance model of the paper's Quantum Viking II SCSI disk.
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common disk errors.
+var (
+	// ErrOutOfRange is returned when an access extends past the disk.
+	ErrOutOfRange = errors.New("disk: access out of range")
+	// ErrClosed is returned for operations on a closed disk.
+	ErrClosed = errors.New("disk: closed")
+)
+
+// Disk is a fixed-size random-access byte store. Implementations must be
+// safe for concurrent use.
+type Disk interface {
+	// ReadAt reads len(p) bytes starting at off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt writes p starting at off.
+	WriteAt(p []byte, off int64) error
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Size returns the disk capacity in bytes.
+	Size() int64
+	// Close releases resources; the disk is unusable afterwards.
+	Close() error
+}
+
+func checkRange(size int64, n int, off int64) error {
+	if off < 0 || off+int64(n) > size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(n), size)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"swarm/internal/model"
+)
+
+func testDiskRoundTrip(t *testing.T, d Disk) {
+	t.Helper()
+	data := []byte("hello swarm storage")
+	if err := d.WriteAt(data, 100); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 100); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func TestMemDiskRoundTrip(t *testing.T) {
+	testDiskRoundTrip(t, NewMemDisk(1<<20))
+}
+
+func TestMemDiskOutOfRange(t *testing.T) {
+	d := NewMemDisk(128)
+	if err := d.WriteAt(make([]byte, 64), 100); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WriteAt past end: %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadAt(-1): %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteAt(make([]byte, 128), 0); err != nil {
+		t.Fatalf("exact-fit write: %v", err)
+	}
+}
+
+func TestMemDiskClosed(t *testing.T) {
+	d := NewMemDisk(128)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{1}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+func TestMemDiskFailureInjection(t *testing.T) {
+	d := NewMemDisk(128)
+	boom := errors.New("boom")
+	d.FailWrites(boom)
+	if err := d.WriteAt([]byte{1}, 0); !errors.Is(err, boom) {
+		t.Fatalf("injected write failure: %v", err)
+	}
+	d.FailWrites(nil)
+	if err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatalf("write after clearing injection: %v", err)
+	}
+	d.FailReads(boom)
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, boom) {
+		t.Fatalf("injected read failure: %v", err)
+	}
+}
+
+func TestMemDiskSnapshotRestore(t *testing.T) {
+	d := NewMemDisk(64)
+	if err := d.WriteAt([]byte("state-a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := d.WriteAt([]byte("state-b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Restore(snap)
+	got := make([]byte, 7)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state-a" {
+		t.Fatalf("restored %q, want state-a", got)
+	}
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := OpenFileDisk(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDiskRoundTrip(t, d)
+	if d.Size() != 1<<20 {
+		t.Fatalf("Size() = %d", d.Size())
+	}
+}
+
+func TestFileDiskReopenPreservesData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := OpenFileDisk(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("persist"), 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFileDisk(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, 7)
+	if err := d2.ReadAt(got, 42); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist" {
+		t.Fatalf("reopened data = %q", got)
+	}
+}
+
+func TestFileDiskRejectsShrink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := OpenFileDisk(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := OpenFileDisk(path, 1024); err == nil {
+		t.Fatal("reopening with smaller size should fail")
+	}
+}
+
+func TestFileDiskDoubleCloseOK(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := OpenFileDisk(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestSimDiskChargesTransferTime(t *testing.T) {
+	clock := model.NewFakeClock(time.Unix(0, 0))
+	p := model.HardwareParams{DiskRate: 10 * model.MB, DiskSeek: 8 * time.Millisecond, DiskRotation: 4 * time.Millisecond}
+	d := NewSimDisk(NewMemDisk(4<<20), clock, p)
+
+	done := make(chan error, 1)
+	go func() { done <- d.WriteAt(make([]byte, 1<<20), 0) }()
+	for clock.NumWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// seek 8ms + rot 4ms + 1MiB/10MB/s ≈ 104.8ms
+	clock.Advance(200 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	busy := d.Busy()
+	if busy < 100*time.Millisecond || busy > 130*time.Millisecond {
+		t.Fatalf("busy = %v, want ~117ms", busy)
+	}
+}
+
+func TestSimDiskSequentialAvoidsSeek(t *testing.T) {
+	clock := model.NewFakeClock(time.Unix(0, 0))
+	p := model.HardwareParams{DiskRate: 0, DiskSeek: 10 * time.Millisecond}
+	d := NewSimDisk(NewMemDisk(1<<20), clock, p)
+
+	write := func(off int64, n int) {
+		done := make(chan error, 1)
+		go func() { done <- d.WriteAt(make([]byte, n), off) }()
+		for {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			default:
+				if clock.NumWaiters() > 0 {
+					clock.Advance(time.Second)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	write(0, 100)   // seek
+	write(100, 100) // sequential: no seek
+	write(500, 100) // seek
+	if got := d.Stats().Seeks; got != 2 {
+		t.Fatalf("seeks = %d, want 2", got)
+	}
+}
+
+func TestSimDiskStats(t *testing.T) {
+	d := NewSimDisk(NewMemDisk(1<<20), model.WallClock{}, model.HardwareParams{})
+	if err := d.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(make([]byte, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.BytesWrite != 100 || st.Reads != 1 || st.BytesRead != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if d.Size() != 1<<20 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+}
+
+func TestSimDiskPropagatesErrors(t *testing.T) {
+	mem := NewMemDisk(128)
+	d := NewSimDisk(mem, model.WallClock{}, model.HardwareParams{})
+	if err := d.WriteAt(make([]byte, 256), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range through sim: %v", err)
+	}
+	boom := errors.New("boom")
+	mem.FailReads(boom)
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, boom) {
+		t.Fatalf("backing error not propagated: %v", err)
+	}
+}
+
+// Property: for any sequence of in-range writes, reading back each region
+// returns the most recent write.
+func TestMemDiskQuickWriteRead(t *testing.T) {
+	d := NewMemDisk(4096)
+	f := func(off uint16, val byte, n uint8) bool {
+		o := int64(off) % (4096 - 256)
+		length := int(n)%255 + 1
+		buf := bytes.Repeat([]byte{val}, length)
+		if err := d.WriteAt(buf, o); err != nil {
+			return false
+		}
+		got := make([]byte, length)
+		if err := d.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

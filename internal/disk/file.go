@@ -1,0 +1,96 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDisk is a Disk backed by a regular file, used by real (non-simulated)
+// storage-server deployments.
+type FileDisk struct {
+	mu     sync.RWMutex
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+var _ Disk = (*FileDisk)(nil)
+
+// OpenFileDisk opens (creating if necessary) a file-backed disk of the
+// given size at path. An existing file is reused if it has the right size;
+// a new or short file is extended.
+func OpenFileDisk(path string, size int64) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open disk file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stat disk file: %w", err)
+	}
+	if st.Size() > size {
+		f.Close()
+		return nil, fmt.Errorf("disk file %s is %d bytes, larger than requested %d", path, st.Size(), size)
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("extend disk file: %w", err)
+		}
+	}
+	return &FileDisk{f: f, size: size}, nil
+}
+
+// ReadAt implements Disk.
+func (d *FileDisk) ReadAt(p []byte, off int64) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(d.size, len(p), off); err != nil {
+		return err
+	}
+	_, err := d.f.ReadAt(p, off)
+	return err
+}
+
+// WriteAt implements Disk.
+func (d *FileDisk) WriteAt(p []byte, off int64) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(d.size, len(p), off); err != nil {
+		return err
+	}
+	_, err := d.f.WriteAt(p, off)
+	return err
+}
+
+// Sync implements Disk.
+func (d *FileDisk) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Size implements Disk.
+func (d *FileDisk) Size() int64 { return d.size }
+
+// Close implements Disk.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

@@ -1,0 +1,120 @@
+package disk
+
+import "sync"
+
+// MemDisk is an in-memory Disk, primarily for tests. The zero value is not
+// usable; create one with NewMemDisk.
+type MemDisk struct {
+	mu     sync.RWMutex
+	data   []byte
+	closed bool
+
+	// FailWrites, when set, makes every WriteAt return the given error.
+	// Tests use it for failure injection.
+	failMu     sync.Mutex
+	failWrites error
+	failReads  error
+}
+
+var _ Disk = (*MemDisk)(nil)
+
+// NewMemDisk returns an in-memory disk of the given size in bytes.
+func NewMemDisk(size int64) *MemDisk {
+	return &MemDisk{data: make([]byte, size)}
+}
+
+// FailWrites arranges for subsequent writes to fail with err (nil clears).
+func (d *MemDisk) FailWrites(err error) {
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	d.failWrites = err
+}
+
+// FailReads arranges for subsequent reads to fail with err (nil clears).
+func (d *MemDisk) FailReads(err error) {
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	d.failReads = err
+}
+
+// ReadAt implements Disk.
+func (d *MemDisk) ReadAt(p []byte, off int64) error {
+	d.failMu.Lock()
+	ferr := d.failReads
+	d.failMu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(int64(len(d.data)), len(p), off); err != nil {
+		return err
+	}
+	copy(p, d.data[off:])
+	return nil
+}
+
+// WriteAt implements Disk.
+func (d *MemDisk) WriteAt(p []byte, off int64) error {
+	d.failMu.Lock()
+	ferr := d.failWrites
+	d.failMu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(int64(len(d.data)), len(p), off); err != nil {
+		return err
+	}
+	copy(d.data[off:], p)
+	return nil
+}
+
+// Sync implements Disk (a no-op for memory).
+func (d *MemDisk) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Size implements Disk.
+func (d *MemDisk) Size() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.data))
+}
+
+// Close implements Disk.
+func (d *MemDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
+
+// Snapshot returns a copy of the disk contents; used by crash-simulation
+// tests to capture the state at an arbitrary instant.
+func (d *MemDisk) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]byte, len(d.data))
+	copy(out, d.data)
+	return out
+}
+
+// Restore overwrites the disk contents from a snapshot.
+func (d *MemDisk) Restore(snap []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(d.data, snap)
+}

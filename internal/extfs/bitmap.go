@@ -1,0 +1,108 @@
+package extfs
+
+import (
+	"fmt"
+
+	"swarm/internal/vfs"
+)
+
+// bitmap is a block-backed allocation bitmap (inodes or data blocks).
+type bitmap struct {
+	cache      *bufferCache
+	startBlock uint32 // first bitmap block on disk
+	bits       uint32 // number of allocatable units
+	next       uint32 // next-fit rotor
+}
+
+func newBitmap(cache *bufferCache, startBlock, bits uint32) *bitmap {
+	return &bitmap{cache: cache, startBlock: startBlock, bits: bits}
+}
+
+func (bm *bitmap) locate(i uint32) (blk uint32, byteOff int, mask byte) {
+	bitsPerBlock := uint32(bm.cache.blockSize * 8)
+	blk = bm.startBlock + i/bitsPerBlock
+	rem := i % bitsPerBlock
+	return blk, int(rem / 8), 1 << (rem % 8)
+}
+
+// isSet reports whether unit i is allocated.
+func (bm *bitmap) isSet(i uint32) (bool, error) {
+	if i >= bm.bits {
+		return false, fmt.Errorf("extfs: bitmap index %d out of %d", i, bm.bits)
+	}
+	blk, off, mask := bm.locate(i)
+	p, err := bm.cache.get(blk)
+	if err != nil {
+		return false, err
+	}
+	return p[off]&mask != 0, nil
+}
+
+func (bm *bitmap) set(i uint32, v bool) error {
+	blk, off, mask := bm.locate(i)
+	p, err := bm.cache.getDirty(blk)
+	if err != nil {
+		return err
+	}
+	if v {
+		p[off] |= mask
+	} else {
+		p[off] &^= mask
+	}
+	return nil
+}
+
+// alloc finds a free unit at or after hint (wrapping), marks it, and
+// returns it. A hint of 0 uses the next-fit rotor, which gives the same
+// rough locality a real ext2 allocator aims for.
+func (bm *bitmap) alloc(hint uint32) (uint32, error) {
+	start := hint
+	if start == 0 {
+		start = bm.next
+	}
+	for probe := uint32(0); probe < bm.bits; probe++ {
+		i := (start + probe) % bm.bits
+		set, err := bm.isSet(i)
+		if err != nil {
+			return 0, err
+		}
+		if !set {
+			if err := bm.set(i, true); err != nil {
+				return 0, err
+			}
+			bm.next = i + 1
+			if bm.next >= bm.bits {
+				bm.next = 0
+			}
+			return i, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// free releases unit i.
+func (bm *bitmap) free(i uint32) error {
+	set, err := bm.isSet(i)
+	if err != nil {
+		return err
+	}
+	if !set {
+		return fmt.Errorf("%w: double free of unit %d", ErrCorrupt, i)
+	}
+	return bm.set(i, false)
+}
+
+// countFree scans the bitmap (diagnostics and tests).
+func (bm *bitmap) countFree() (uint32, error) {
+	var free uint32
+	for i := uint32(0); i < bm.bits; i++ {
+		set, err := bm.isSet(i)
+		if err != nil {
+			return 0, err
+		}
+		if !set {
+			free++
+		}
+	}
+	return free, nil
+}

@@ -1,0 +1,119 @@
+package extfs
+
+import (
+	"fmt"
+	"sort"
+
+	"swarm/internal/disk"
+)
+
+// bufferCache is a write-back cache of file-system blocks, mirroring the
+// write-back page cache the paper's modified Linux kernel gave both file
+// systems (§3.3). Dirty blocks are written back — in block-number order,
+// the kindest schedule an update-in-place file system can hope for — on
+// Sync.
+type bufferCache struct {
+	d         disk.Disk
+	blockSize int
+
+	clean map[uint32][]byte
+	dirty map[uint32][]byte
+	limit int // max cached blocks before forced writeback
+}
+
+func newBufferCache(d disk.Disk, blockSize int, limitBytes int64) *bufferCache {
+	limit := int(limitBytes / int64(blockSize))
+	if limit < 16 {
+		limit = 16
+	}
+	return &bufferCache{
+		d:         d,
+		blockSize: blockSize,
+		clean:     make(map[uint32][]byte),
+		dirty:     make(map[uint32][]byte),
+		limit:     limit,
+	}
+}
+
+// get returns block b's contents; the returned slice is the cache's own
+// and must not be retained across cache calls by writers (use put).
+func (c *bufferCache) get(b uint32) ([]byte, error) {
+	if p, ok := c.dirty[b]; ok {
+		return p, nil
+	}
+	if p, ok := c.clean[b]; ok {
+		return p, nil
+	}
+	p := make([]byte, c.blockSize)
+	if err := c.d.ReadAt(p, int64(b)*int64(c.blockSize)); err != nil {
+		return nil, fmt.Errorf("read block %d: %w", b, err)
+	}
+	c.clean[b] = p
+	c.evictClean()
+	return p, nil
+}
+
+// getDirty returns block b's contents as a mutable dirty page.
+func (c *bufferCache) getDirty(b uint32) ([]byte, error) {
+	if p, ok := c.dirty[b]; ok {
+		return p, nil
+	}
+	p, err := c.get(b)
+	if err != nil {
+		return nil, err
+	}
+	delete(c.clean, b)
+	c.dirty[b] = p
+	if len(c.dirty) > c.limit {
+		if err := c.flush(); err != nil {
+			return nil, err
+		}
+		c.dirty[b] = p // keep the caller's page available
+	}
+	return p, nil
+}
+
+// putZero installs a fresh zero block (newly allocated: no need to read).
+func (c *bufferCache) putZero(b uint32) []byte {
+	p := make([]byte, c.blockSize)
+	delete(c.clean, b)
+	c.dirty[b] = p
+	return p
+}
+
+func (c *bufferCache) evictClean() {
+	for b := range c.clean {
+		if len(c.clean) <= c.limit {
+			break
+		}
+		delete(c.clean, b)
+	}
+}
+
+// flush writes all dirty blocks back in ascending block order.
+func (c *bufferCache) flush() error {
+	if len(c.dirty) == 0 {
+		return nil
+	}
+	blocks := make([]uint32, 0, len(c.dirty))
+	for b := range c.dirty {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		p := c.dirty[b]
+		if err := c.d.WriteAt(p, int64(b)*int64(c.blockSize)); err != nil {
+			return fmt.Errorf("writeback block %d: %w", b, err)
+		}
+		delete(c.dirty, b)
+		c.clean[b] = p
+	}
+	c.evictClean()
+	return c.d.Sync()
+}
+
+// drop removes a block from the cache without writeback (freed blocks).
+func (c *bufferCache) drop(b uint32) {
+	delete(c.dirty, b)
+	delete(c.clean, b)
+}

@@ -1,0 +1,172 @@
+package extfs
+
+import (
+	"fmt"
+	"sort"
+
+	"swarm/internal/vfs"
+	"swarm/internal/wire"
+)
+
+// Directory contents are a packed sequence of entries:
+//   ino(4) mode(1) nameLen(2) name...
+// Directory updates rewrite the affected portion in place — the
+// update-in-place behaviour that distinguishes extfs from Sting.
+
+type dirEntry struct {
+	ino  uint32
+	mode uint16
+	name string
+}
+
+// readDirEntries loads and parses a directory inode's contents.
+func (fs *FS) readDirEntries(in *dinode) ([]dirEntry, error) {
+	buf := make([]byte, in.size)
+	n, err := fs.readAt(in, buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	buf = buf[:n]
+	d := wire.NewDecoder(buf)
+	var out []dirEntry
+	for d.Remaining() > 0 {
+		ino := d.U32()
+		mode := d.U8()
+		nameLen := d.U16()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("%w: directory entry", ErrCorrupt)
+		}
+		name := make([]byte, nameLen)
+		for i := range name {
+			name[i] = d.U8()
+		}
+		if d.Err() != nil {
+			return nil, fmt.Errorf("%w: directory entry name", ErrCorrupt)
+		}
+		out = append(out, dirEntry{ino: ino, mode: uint16(mode), name: string(name)})
+	}
+	return out, nil
+}
+
+// writeDirEntries replaces a directory's contents.
+func (fs *FS) writeDirEntries(ino uint32, in *dinode, entries []dirEntry) error {
+	e := wire.NewEncoder(len(entries) * 24)
+	for _, ent := range entries {
+		e.U32(ent.ino)
+		e.U8(uint8(ent.mode))
+		e.U16(uint16(len(ent.name)))
+		for i := 0; i < len(ent.name); i++ {
+			e.U8(ent.name[i])
+		}
+	}
+	data := e.Bytes()
+	if int64(len(data)) < in.size {
+		if err := fs.truncate(ino, in, int64(len(data))); err != nil {
+			return err
+		}
+	}
+	if len(data) == 0 {
+		return fs.truncate(ino, in, 0)
+	}
+	if _, err := fs.writeAt(ino, in, data, 0); err != nil {
+		return err
+	}
+	if int64(len(data)) != in.size {
+		in.size = int64(len(data))
+		return fs.writeInode(ino, in)
+	}
+	return nil
+}
+
+// dirLookup finds name in a directory.
+func (fs *FS) dirLookup(in *dinode, name string) (dirEntry, bool, error) {
+	entries, err := fs.readDirEntries(in)
+	if err != nil {
+		return dirEntry{}, false, err
+	}
+	for _, e := range entries {
+		if e.name == name {
+			return e, true, nil
+		}
+	}
+	return dirEntry{}, false, nil
+}
+
+// dirInsert adds an entry (caller has checked absence).
+func (fs *FS) dirInsert(ino uint32, in *dinode, ent dirEntry) error {
+	entries, err := fs.readDirEntries(in)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, ent)
+	return fs.writeDirEntries(ino, in, entries)
+}
+
+// dirRemove deletes an entry by name.
+func (fs *FS) dirRemove(ino uint32, in *dinode, name string) error {
+	entries, err := fs.readDirEntries(in)
+	if err != nil {
+		return err
+	}
+	out := entries[:0]
+	found := false
+	for _, e := range entries {
+		if e.name == name {
+			found = true
+			continue
+		}
+		out = append(out, e)
+	}
+	if !found {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+	}
+	return fs.writeDirEntries(ino, in, out)
+}
+
+// resolve walks path components from the root. Caller holds fs.mu.
+func (fs *FS) resolve(parts []string) (uint32, *dinode, error) {
+	ino := uint32(rootIno)
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, name := range parts {
+		if !in.isDir() {
+			return 0, nil, fmt.Errorf("%w: %s", vfs.ErrNotDir, name)
+		}
+		ent, ok, err := fs.dirLookup(in, name)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+		}
+		ino = ent.ino
+		if in, err = fs.readInode(ino); err != nil {
+			return 0, nil, err
+		}
+	}
+	return ino, in, nil
+}
+
+// resolveParent resolves path to (parent ino, parent inode, final name).
+func (fs *FS) resolveParent(path string) (uint32, *dinode, string, error) {
+	parent, name, err := vfs.SplitDir(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	ino, in, err := fs.resolve(parent)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if !in.isDir() {
+		return 0, nil, "", vfs.ErrNotDir
+	}
+	return ino, in, name, nil
+}
+
+// sortedEntries returns a directory's entries sorted by name.
+func sortedEntries(entries []dirEntry) []dirEntry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	return entries
+}

@@ -1,0 +1,468 @@
+package extfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swarm/internal/disk"
+	"swarm/internal/vfs"
+	"swarm/internal/vfs/vfstest"
+)
+
+const testBlockSize = 1024
+
+func newFS(t *testing.T, size int64) (*FS, *disk.MemDisk) {
+	t.Helper()
+	d := disk.NewMemDisk(size)
+	fs, err := Mkfs(d, testBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, d
+}
+
+func TestConformance(t *testing.T) {
+	vfstest.Conformance(t, func(t *testing.T) vfs.FileSystem {
+		fs, _ := newFS(t, 32<<20)
+		return fs
+	})
+}
+
+func TestMkfsValidation(t *testing.T) {
+	if _, err := Mkfs(disk.NewMemDisk(1<<20), 1000); err == nil {
+		t.Fatal("non-power-of-two block size accepted")
+	}
+	if _, err := Mkfs(disk.NewMemDisk(2048), 1024); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("tiny disk: %v", err)
+	}
+}
+
+func TestMountRejectsUnformatted(t *testing.T) {
+	if _, err := Mount(disk.NewMemDisk(1 << 20)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mount unformatted: %v", err)
+	}
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	fs, d := newFS(t, 16<<20)
+	if err := vfs.MkdirAll(fs, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("ext"), 5000)
+	if err := vfs.WriteFile(fs, "/a/b/f", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	got, err := vfs.ReadFile(fs2, "/a/b/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("contents lost across remount")
+	}
+}
+
+func TestSyncThenCrashPreservesData(t *testing.T) {
+	fs, d := newFS(t, 16<<20)
+	if err := vfs.WriteFile(fs, "/f", []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: mount the same disk without unmounting.
+	fs2, err := Mount(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	got, err := vfs.ReadFile(fs2, "/f")
+	if err != nil || string(got) != "synced" {
+		t.Fatalf("after crash = (%q,%v)", got, err)
+	}
+}
+
+func TestLargeFileUsesIndirectBlocks(t *testing.T) {
+	fs, d := newFS(t, 64<<20)
+	// > NDirect + ptrsPerBlock blocks: forces double-indirect.
+	pp := int(fs.ptrsPerBlock())
+	nBlocks := NDirect + pp + 10
+	size := nBlocks * testBlockSize
+	data := make([]byte, size)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+
+	if err := vfs.WriteFile(fs, "/huge", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("double-indirect file corrupted")
+	}
+	// Verify the inode actually uses both indirection levels.
+	fs.mu.Lock()
+	_, in, err := fs.resolve([]string{"huge"})
+	fs.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.indirect == 0 || in.dindirect == 0 {
+		t.Fatalf("indirect=%d dindirect=%d", in.indirect, in.dindirect)
+	}
+	// And persists across remount.
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	got, err = vfs.ReadFile(fs2, "/huge")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("double-indirect file lost: %v", err)
+	}
+}
+
+func TestDeleteFreesBlocks(t *testing.T) {
+	fs, _ := newFS(t, 16<<20)
+	freeBefore, err := fs.dbm.countFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := int(fs.ptrsPerBlock())
+	size := (NDirect + pp + 5) * testBlockSize
+	if err := vfs.WriteFile(fs, "/f", make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	freeDuring, err := fs.dbm.countFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeDuring >= freeBefore {
+		t.Fatal("no blocks consumed")
+	}
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	freeAfter, err := fs.dbm.countFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeAfter != freeBefore {
+		t.Fatalf("block leak: %d before, %d after (lost %d)", freeBefore, freeAfter, freeBefore-freeAfter)
+	}
+	// Inode freed too.
+	inoFree, err := fs.ibm.countFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inoFreeBefore := fs.g.nInodes - 2 // sentinel + root
+	if inoFree != inoFreeBefore {
+		t.Fatalf("inode leak: %d free, want %d", inoFree, inoFreeBefore)
+	}
+}
+
+func TestFillDiskReturnsNoSpace(t *testing.T) {
+	fs, _ := newFS(t, 1<<20) // tiny
+	var err error
+	for i := 0; i < 10000; i++ {
+		err = vfs.WriteFile(fs, fmt.Sprintf("/f%d", i), make([]byte, 8*testBlockSize))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("filling disk: %v", err)
+	}
+	// Deleting makes room again.
+	if err := fs.Unlink("/f0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/again", make([]byte, 4*testBlockSize)); err != nil {
+		t.Fatalf("write after delete: %v", err)
+	}
+}
+
+func TestGeometrySanity(t *testing.T) {
+	g, err := computeGeometry(16<<20, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.totalBlocks != 16384 {
+		t.Fatalf("totalBlocks = %d", g.totalBlocks)
+	}
+	if g.dataStart <= g.tableStart || g.tableStart <= g.dbmStart || g.dbmStart <= g.ibmStart {
+		t.Fatalf("layout out of order: %+v", g)
+	}
+	// Superblock roundtrip.
+	g2, err := decodeSuper(g.encodeSuper(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatalf("superblock roundtrip: %+v vs %+v", g2, g)
+	}
+	// Corruption detection.
+	buf := g.encodeSuper()
+	buf[4] ^= 0xFF
+	if _, err := decodeSuper(buf, 16<<20); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt superblock: %v", err)
+	}
+}
+
+func TestInodeEncodeDecode(t *testing.T) {
+	in := newInode(modeFile)
+	in.size = 99999
+	in.nlink = 3
+	in.direct[0] = 100
+	in.direct[11] = 200
+	in.indirect = 300
+	in.dindirect = 400
+	buf := make([]byte, inodeSize)
+	in.encode(buf)
+	got := decodeDInode(buf)
+	if got.mode != in.mode || got.size != in.size || got.nlink != in.nlink {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if got.direct != in.direct || got.indirect != 300 || got.dindirect != 400 {
+		t.Fatalf("pointers = %+v", got)
+	}
+}
+
+// Property: bitmap alloc/free maintain the free count and never hand out
+// a unit twice.
+func TestQuickBitmapInvariants(t *testing.T) {
+	d := disk.NewMemDisk(1 << 20)
+	cache := newBufferCache(d, 1024, 1<<20)
+	bm := newBitmap(cache, 0, 512)
+	allocated := make(map[uint32]bool)
+	f := func(doFree bool, which uint16) bool {
+		if doFree && len(allocated) > 0 {
+			// Free an arbitrary allocated unit.
+			var victim uint32
+			for u := range allocated {
+				victim = u
+				break
+			}
+			if err := bm.free(victim); err != nil {
+				return false
+			}
+			delete(allocated, victim)
+			return true
+		}
+		u, err := bm.alloc(uint32(which) % 512)
+		if err != nil {
+			return len(allocated) == 512 // only fails when full
+		}
+		if allocated[u] {
+			return false // double allocation!
+		}
+		allocated[u] = true
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	free, err := bm.countFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 512-uint32(len(allocated)) {
+		t.Fatalf("free count %d, want %d", free, 512-len(allocated))
+	}
+}
+
+func TestBitmapDoubleFreeDetected(t *testing.T) {
+	d := disk.NewMemDisk(1 << 20)
+	cache := newBufferCache(d, 1024, 1<<20)
+	bm := newBitmap(cache, 0, 64)
+	u, err := bm.alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.free(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.free(u); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestBufferCacheWriteback(t *testing.T) {
+	// Verify flush leaves no dirty blocks and data reaches the disk.
+	d := disk.NewMemDisk(1 << 20)
+	cache := newBufferCache(d, 1024, 1<<20)
+	for i := uint32(0); i < 10; i++ {
+		p, err := cache.getDirty(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p[0] = byte(i + 1)
+	}
+	if err := cache.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.dirty) != 0 {
+		t.Fatalf("%d dirty blocks after flush", len(cache.dirty))
+	}
+	buf := make([]byte, 1)
+	for i := uint32(0); i < 10; i++ {
+		if err := d.ReadAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("block %d not written back", i)
+		}
+	}
+}
+
+func TestSyncMetadataModeStillConforms(t *testing.T) {
+	// The classic-consistency mode (metadata write-through + block-group
+	// allocation) must not change semantics, only timing.
+	vfstest.Conformance(t, func(t *testing.T) vfs.FileSystem {
+		fs, _ := newFS(t, 32<<20)
+		fs.SetSyncMetadata(true)
+		return fs
+	})
+}
+
+func TestSyncMetadataFlushesOnNamespaceOps(t *testing.T) {
+	fs, d := newFS(t, 16<<20)
+	fs.SetSyncMetadata(true)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/d/f", []byte("sync-meta")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().MetaSyncs == 0 {
+		t.Fatal("no metadata syncs recorded")
+	}
+	// Crash WITHOUT unmount or Sync: namespace survives because every
+	// namespace op wrote through. (File data may not; create+write in
+	// WriteFile ends with Close, not Sync — but the create itself
+	// flushed, so the file exists.)
+	fs2, err := Mount(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	if _, err := fs2.Stat("/d/f"); err != nil {
+		t.Fatalf("namespace lost after crash in sync-metadata mode: %v", err)
+	}
+}
+
+func TestBlockGroupSpreadAllocation(t *testing.T) {
+	fs, _ := newFS(t, 32<<20)
+	fs.SetSyncMetadata(true)
+	// Two files in different inodes should be placed in different block
+	// groups (far apart on disk).
+	if err := vfs.WriteFile(fs, "/a", make([]byte, 4*testBlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/pad%d", i), make([]byte, testBlockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vfs.WriteFile(fs, "/b", make([]byte, 4*testBlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	_, ia, err := fs.resolve([]string{"a"})
+	if err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	_, ib, err := fs.resolve([]string{"b"})
+	if err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	fs.mu.Unlock()
+	da := int64(ia.direct[0])
+	db := int64(ib.direct[0])
+	span := int64(fs.g.totalBlocks-fs.g.dataStart) / blockGroups
+	gap := da - db
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap < span/2 {
+		t.Fatalf("blocks %d and %d are %d apart; expected block-group spread ≥ %d", da, db, gap, span/2)
+	}
+}
+
+func TestRenameEdgeCases(t *testing.T) {
+	fs, _ := newFS(t, 16<<20)
+	if fs.BlockSize() != testBlockSize {
+		t.Fatalf("BlockSize = %d", fs.BlockSize())
+	}
+	// Rename within the same directory.
+	if err := vfs.WriteFile(fs, "/a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/b")
+	if err != nil || string(got) != "one" {
+		t.Fatalf("same-dir rename = (%q,%v)", got, err)
+	}
+	// Rename replacing a file in the same directory.
+	if err := vfs.WriteFile(fs, "/c", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/c", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = vfs.ReadFile(fs, "/b")
+	if string(got) != "two" {
+		t.Fatalf("replace rename = %q", got)
+	}
+	// Cross-directory directory rename adjusts parent link counts.
+	if err := vfs.MkdirAll(fs, "/src/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dst"); err != nil {
+		t.Fatal(err)
+	}
+	srcBefore, _ := fs.Stat("/src")
+	dstBefore, _ := fs.Stat("/dst")
+	if err := fs.Rename("/src/sub", "/dst/sub"); err != nil {
+		t.Fatal(err)
+	}
+	srcAfter, _ := fs.Stat("/src")
+	dstAfter, _ := fs.Stat("/dst")
+	if srcAfter.Nlink != srcBefore.Nlink-1 {
+		t.Fatalf("src nlink %d -> %d", srcBefore.Nlink, srcAfter.Nlink)
+	}
+	if dstAfter.Nlink != dstBefore.Nlink+1 {
+		t.Fatalf("dst nlink %d -> %d", dstBefore.Nlink, dstAfter.Nlink)
+	}
+	// Renaming a file over a directory fails.
+	if err := vfs.WriteFile(fs, "/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/f", "/dst"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("file over dir = %v", err)
+	}
+	// Renaming a directory over a file fails.
+	if err := fs.Rename("/dst", "/f"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("dir over file = %v", err)
+	}
+}

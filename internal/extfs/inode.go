@@ -1,0 +1,322 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"swarm/internal/vfs"
+)
+
+// On-disk inode modes.
+const (
+	modeFree = 0
+	modeFile = 1
+	modeDir  = 2
+)
+
+// dinode is the decoded on-disk inode: mode, link count, size, mtime,
+// twelve direct pointers, one indirect, one double-indirect — the classic
+// ext2/FFS shape.
+type dinode struct {
+	mode      uint16
+	nlink     uint16
+	size      int64
+	mtime     time.Time
+	direct    [NDirect]uint32
+	indirect  uint32
+	dindirect uint32
+}
+
+func newInode(mode uint16) *dinode {
+	return &dinode{mode: mode, nlink: 1, mtime: time.Now()}
+}
+
+func (in *dinode) isDir() bool { return in.mode == modeDir }
+
+func (in *dinode) vfsMode() vfs.FileMode {
+	if in.isDir() {
+		return vfs.ModeDir
+	}
+	return vfs.ModeFile
+}
+
+func (in *dinode) encode(buf []byte) {
+	for i := range buf[:inodeSize] {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[0:], in.mode)
+	binary.LittleEndian.PutUint16(buf[2:], in.nlink)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(in.size))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(in.mtime.UnixNano()))
+	for i := 0; i < NDirect; i++ {
+		binary.LittleEndian.PutUint32(buf[24+i*4:], in.direct[i])
+	}
+	binary.LittleEndian.PutUint32(buf[24+NDirect*4:], in.indirect)
+	binary.LittleEndian.PutUint32(buf[28+NDirect*4:], in.dindirect)
+}
+
+func decodeDInode(buf []byte) *dinode {
+	in := &dinode{
+		mode:  binary.LittleEndian.Uint16(buf[0:]),
+		nlink: binary.LittleEndian.Uint16(buf[2:]),
+		size:  int64(binary.LittleEndian.Uint64(buf[8:])),
+		mtime: time.Unix(0, int64(binary.LittleEndian.Uint64(buf[16:]))),
+	}
+	for i := 0; i < NDirect; i++ {
+		in.direct[i] = binary.LittleEndian.Uint32(buf[24+i*4:])
+	}
+	in.indirect = binary.LittleEndian.Uint32(buf[24+NDirect*4:])
+	in.dindirect = binary.LittleEndian.Uint32(buf[28+NDirect*4:])
+	return in
+}
+
+// inodeLoc returns the disk block and byte offset of inode ino.
+func (fs *FS) inodeLoc(ino uint32) (blk uint32, off int) {
+	inodesPerBlock := uint32(fs.g.blockSize / inodeSize)
+	return fs.g.tableStart + ino/inodesPerBlock, int(ino%inodesPerBlock) * inodeSize
+}
+
+// readInode loads inode ino from the table.
+func (fs *FS) readInode(ino uint32) (*dinode, error) {
+	if ino == 0 || ino >= fs.g.nInodes {
+		return nil, fmt.Errorf("%w: inode %d", ErrCorrupt, ino)
+	}
+	blk, off := fs.inodeLoc(ino)
+	p, err := fs.cache.get(blk)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDInode(p[off : off+inodeSize]), nil
+}
+
+// writeInode stores inode ino into the table.
+func (fs *FS) writeInode(ino uint32, in *dinode) error {
+	blk, off := fs.inodeLoc(ino)
+	p, err := fs.cache.getDirty(blk)
+	if err != nil {
+		return err
+	}
+	in.encode(p[off : off+inodeSize])
+	return nil
+}
+
+// ptrsPerBlock is the pointer fan-out of an indirect block.
+func (fs *FS) ptrsPerBlock() uint32 { return uint32(fs.g.blockSize / 4) }
+
+// maxBlocks is the largest logical block index + 1 an inode can map.
+func (fs *FS) maxBlocks() uint64 {
+	pp := uint64(fs.ptrsPerBlock())
+	return NDirect + pp + pp*pp
+}
+
+// slot reads pointer i of indirect block blk, optionally allocating a new
+// target block when alloc is set and the slot is empty.
+func (fs *FS) slot(blk uint32, i uint32, alloc bool) (uint32, error) {
+	p, err := fs.cache.get(blk)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(p[i*4:])
+	if v != 0 || !alloc {
+		return v, nil
+	}
+	nb, err := fs.allocDataBlock()
+	if err != nil {
+		return 0, err
+	}
+	dp, err := fs.cache.getDirty(blk)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(dp[i*4:], nb)
+	return nb, nil
+}
+
+// allocDataBlock allocates a zeroed data block, biased toward the
+// current operation's block group.
+func (fs *FS) allocDataBlock() (uint32, error) {
+	b, err := fs.dbm.alloc(fs.allocGroup)
+	if err != nil {
+		return 0, err
+	}
+	fs.cache.putZero(b)
+	fs.stats.BlocksAllocated++
+	return b, nil
+}
+
+// bmap maps logical block idx of inode in to a physical block, allocating
+// the whole chain when alloc is set. Returns 0 for holes when not
+// allocating. The inode may be mutated (direct/indirect roots); callers
+// must write it back if dirty is reported.
+func (fs *FS) bmap(in *dinode, idx uint64, alloc bool) (phys uint32, dirty bool, err error) {
+	if idx >= fs.maxBlocks() {
+		return 0, false, fmt.Errorf("%w: file too large (block %d)", vfs.ErrNoSpace, idx)
+	}
+	pp := uint64(fs.ptrsPerBlock())
+	switch {
+	case idx < NDirect:
+		if in.direct[idx] == 0 && alloc {
+			b, err := fs.allocDataBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			in.direct[idx] = b
+			dirty = true
+		}
+		return in.direct[idx], dirty, nil
+
+	case idx < NDirect+pp:
+		if in.indirect == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			b, err := fs.allocDataBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			in.indirect = b
+			dirty = true
+		}
+		phys, err = fs.slot(in.indirect, uint32(idx-NDirect), alloc)
+		return phys, dirty, err
+
+	default:
+		if in.dindirect == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			b, err := fs.allocDataBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			in.dindirect = b
+			dirty = true
+		}
+		rel := idx - NDirect - pp
+		l1, err := fs.slot(in.dindirect, uint32(rel/pp), alloc)
+		if err != nil {
+			return 0, dirty, err
+		}
+		if l1 == 0 {
+			return 0, dirty, nil
+		}
+		phys, err = fs.slot(l1, uint32(rel%pp), alloc)
+		return phys, dirty, err
+	}
+}
+
+// freeBlocks releases all blocks of in from logical index from onward.
+func (fs *FS) freeBlocks(in *dinode, from uint64) error {
+	pp := uint64(fs.ptrsPerBlock())
+	freeOne := func(b uint32) error {
+		if b == 0 {
+			return nil
+		}
+		fs.cache.drop(b)
+		return fs.dbm.free(b)
+	}
+	for i := from; i < NDirect; i++ {
+		if err := freeOne(in.direct[i]); err != nil {
+			return err
+		}
+		in.direct[i] = 0
+	}
+	// Indirect range.
+	if in.indirect != 0 {
+		start := uint64(0)
+		if from > NDirect {
+			start = from - NDirect
+		}
+		if from <= NDirect+pp {
+			p, err := fs.cache.get(in.indirect)
+			if err != nil {
+				return err
+			}
+			for i := start; i < pp; i++ {
+				b := binary.LittleEndian.Uint32(p[i*4:])
+				if err := freeOne(b); err != nil {
+					return err
+				}
+			}
+			if start == 0 {
+				if err := freeOne(in.indirect); err != nil {
+					return err
+				}
+				in.indirect = 0
+			} else {
+				dp, err := fs.cache.getDirty(in.indirect)
+				if err != nil {
+					return err
+				}
+				for i := start; i < pp; i++ {
+					binary.LittleEndian.PutUint32(dp[i*4:], 0)
+				}
+			}
+		}
+	}
+	// Double-indirect range.
+	if in.dindirect != 0 {
+		base := NDirect + pp
+		start := uint64(0)
+		if from > base {
+			start = from - base
+		}
+		p, err := fs.cache.get(in.dindirect)
+		if err != nil {
+			return err
+		}
+		l1s := make([]uint32, pp)
+		for i := uint64(0); i < pp; i++ {
+			l1s[i] = binary.LittleEndian.Uint32(p[i*4:])
+		}
+		for li := start / pp; li < pp; li++ {
+			l1 := l1s[li]
+			if l1 == 0 {
+				continue
+			}
+			inner, err := fs.cache.get(l1)
+			if err != nil {
+				return err
+			}
+			innerStart := uint64(0)
+			if li == start/pp {
+				innerStart = start % pp
+			}
+			allFreed := innerStart == 0
+			if allFreed {
+				for i := uint64(0); i < pp; i++ {
+					if err := freeOne(binary.LittleEndian.Uint32(inner[i*4:])); err != nil {
+						return err
+					}
+				}
+				if err := freeOne(l1); err != nil {
+					return err
+				}
+				dp, err := fs.cache.getDirty(in.dindirect)
+				if err != nil {
+					return err
+				}
+				binary.LittleEndian.PutUint32(dp[li*4:], 0)
+			} else {
+				dp, err := fs.cache.getDirty(l1)
+				if err != nil {
+					return err
+				}
+				for i := innerStart; i < pp; i++ {
+					if err := freeOne(binary.LittleEndian.Uint32(dp[i*4:])); err != nil {
+						return err
+					}
+					binary.LittleEndian.PutUint32(dp[i*4:], 0)
+				}
+			}
+		}
+		if start == 0 {
+			if err := freeOne(in.dindirect); err != nil {
+				return err
+			}
+			in.dindirect = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+package extfs
+
+import (
+	"fmt"
+
+	"swarm/internal/vfs"
+)
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	dirIno, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if ent, ok, err := fs.dirLookup(dir, name); err != nil {
+		return nil, err
+	} else if ok {
+		in, err := fs.readInode(ent.ino)
+		if err != nil {
+			return nil, err
+		}
+		if in.isDir() {
+			return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+		}
+		if err := fs.truncate(ent.ino, in, 0); err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, ino: ent.ino}, nil
+	}
+	ino, _, err := fs.allocInode(modeFile)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.dirInsert(dirIno, dir, dirEntry{ino: ino, mode: modeFile, name: name}); err != nil {
+		return nil, err
+	}
+	if err := fs.metaSync(); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (fs *FS) Open(path string) (vfs.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	ino, in, err := fs.resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	if in.isDir() {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+	}
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dirIno, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok, err := fs.dirLookup(dir, name); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s", vfs.ErrExist, path)
+	}
+	ino, in, err := fs.allocInode(modeDir)
+	if err != nil {
+		return err
+	}
+	in.nlink = 2
+	if err := fs.writeInode(ino, in); err != nil {
+		return err
+	}
+	if err := fs.dirInsert(dirIno, dir, dirEntry{ino: ino, mode: modeDir, name: name}); err != nil {
+		return err
+	}
+	dir.nlink++
+	if err := fs.writeInode(dirIno, dir); err != nil {
+		return err
+	}
+	return fs.metaSync()
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dirIno, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ent, ok, err := fs.dirLookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, path)
+	}
+	child, err := fs.readInode(ent.ino)
+	if err != nil {
+		return err
+	}
+	if !child.isDir() {
+		return fmt.Errorf("%w: %s", vfs.ErrNotDir, path)
+	}
+	entries, err := fs.readDirEntries(child)
+	if err != nil {
+		return err
+	}
+	if len(entries) != 0 {
+		return fmt.Errorf("%w: %s", vfs.ErrNotEmpty, path)
+	}
+	if err := fs.dirRemove(dirIno, dir, name); err != nil {
+		return err
+	}
+	dir.nlink--
+	if err := fs.writeInode(dirIno, dir); err != nil {
+		return err
+	}
+	if err := fs.freeInode(ent.ino, child); err != nil {
+		return err
+	}
+	return fs.metaSync()
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dirIno, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ent, ok, err := fs.dirLookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, path)
+	}
+	child, err := fs.readInode(ent.ino)
+	if err != nil {
+		return err
+	}
+	if child.isDir() {
+		return fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+	}
+	if err := fs.dirRemove(dirIno, dir, name); err != nil {
+		return err
+	}
+	if err := fs.freeInode(ent.ino, child); err != nil {
+		return err
+	}
+	return fs.metaSync()
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	oldDirIno, oldDir, oldName, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	ent, ok, err := fs.dirLookup(oldDir, oldName)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, oldPath)
+	}
+	newDirIno, newDir, newName, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if existing, ok, err := fs.dirLookup(newDir, newName); err != nil {
+		return err
+	} else if ok {
+		target, err := fs.readInode(existing.ino)
+		if err != nil {
+			return err
+		}
+		if target.isDir() || ent.mode == modeDir {
+			return fmt.Errorf("%w: %s", vfs.ErrExist, newPath)
+		}
+		if err := fs.dirRemove(newDirIno, newDir, newName); err != nil {
+			return err
+		}
+		if err := fs.freeInode(existing.ino, target); err != nil {
+			return err
+		}
+		// Re-read directory inodes invalidated by the removal.
+		if newDir, err = fs.readInode(newDirIno); err != nil {
+			return err
+		}
+		if oldDirIno == newDirIno {
+			oldDir = newDir
+		}
+	}
+	if err := fs.dirRemove(oldDirIno, oldDir, oldName); err != nil {
+		return err
+	}
+	if newDirIno == oldDirIno {
+		newDir = oldDir
+	} else if newDir == oldDir {
+		// Distinct inodes but shared struct is impossible; reload to be
+		// safe if aliased.
+		var rerr error
+		if newDir, rerr = fs.readInode(newDirIno); rerr != nil {
+			return rerr
+		}
+	}
+	if err := fs.dirInsert(newDirIno, newDir, dirEntry{ino: ent.ino, mode: ent.mode, name: newName}); err != nil {
+		return err
+	}
+	if ent.mode == modeDir && oldDirIno != newDirIno {
+		oldDir.nlink--
+		if err := fs.writeInode(oldDirIno, oldDir); err != nil {
+			return err
+		}
+		newDir.nlink++
+		if err := fs.writeInode(newDirIno, newDir); err != nil {
+			return err
+		}
+	}
+	return fs.metaSync()
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.FileInfo{}, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	ino, in, err := fs.resolve(parts)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return vfs.FileInfo{
+		Name:  name,
+		Ino:   uint64(ino),
+		Size:  in.size,
+		Mode:  in.vfsMode(),
+		Nlink: uint32(in.nlink),
+		MTime: in.mtime,
+	}, nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	_, in, err := fs.resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	if !in.isDir() {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotDir, path)
+	}
+	entries, err := fs.readDirEntries(in)
+	if err != nil {
+		return nil, err
+	}
+	entries = sortedEntries(entries)
+	out := make([]vfs.DirEntry, 0, len(entries))
+	for _, e := range entries {
+		mode := vfs.ModeFile
+		if e.mode == modeDir {
+			mode = vfs.ModeDir
+		}
+		out = append(out, vfs.DirEntry{Name: e.name, Ino: uint64(e.ino), Mode: mode})
+	}
+	return out, nil
+}
+
+// File is an open extfs file handle.
+type File struct {
+	fs     *FS
+	ino    uint32
+	closed bool
+}
+
+var _ vfs.File = (*File)(nil)
+
+func (f *File) inode() (*dinode, error) {
+	if f.closed || f.fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	in, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.mode == modeFree {
+		return nil, vfs.ErrNotExist
+	}
+	return in, nil
+}
+
+// ReadAt implements vfs.File.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.readAt(in, p, off)
+}
+
+// WriteAt implements vfs.File.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.writeAt(f.ino, in, p, off)
+}
+
+// Size implements vfs.File.
+func (f *File) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return 0, err
+	}
+	return in.size, nil
+}
+
+// Truncate implements vfs.File.
+func (f *File) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return err
+	}
+	return f.fs.truncate(f.ino, in, size)
+}
+
+// Sync implements vfs.File.
+func (f *File) Sync() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return f.fs.Sync()
+}
+
+// Close implements vfs.File.
+func (f *File) Close() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

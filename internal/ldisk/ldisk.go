@@ -1,0 +1,269 @@
+// Package ldisk implements the logical disk service the paper sketches in
+// §2.2 (after de Jonge et al., cited as [4]): a disk abstraction that
+// hides the append-only log, letting higher layers and applications
+// overwrite the blocks they store. An overwrite appends the new contents
+// to the log and marks the old block deleted; the logical-to-log address
+// map is checkpointed and rolled forward from creation/deletion records.
+package ldisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swarm/internal/codec"
+	"swarm/internal/core"
+	"swarm/internal/service"
+	"swarm/internal/wire"
+)
+
+// Logical disk errors.
+var (
+	// ErrNoBlock is returned when reading an unwritten logical block.
+	ErrNoBlock = errors.New("ldisk: logical block not written")
+	// ErrTooLarge is returned when a write exceeds the block size.
+	ErrTooLarge = errors.New("ldisk: write exceeds block size")
+)
+
+// Disk is a logical disk: a sparse array of overwritable blocks layered
+// on the log.
+type Disk struct {
+	id        core.ServiceID
+	log       *core.Log
+	blockSize int
+	codec     codec.Codec
+
+	mu    sync.Mutex
+	table map[uint64]entry
+	dirty bool
+}
+
+type entry struct {
+	addr core.BlockAddr
+	size uint32
+}
+
+var _ service.Service = (*Disk)(nil)
+
+// New returns a logical disk with the given block size, writing under
+// service ID id.
+func New(id core.ServiceID, log *core.Log, blockSize int) (*Disk, error) {
+	if blockSize <= 0 || blockSize > log.MaxBlockSize() {
+		return nil, fmt.Errorf("ldisk: block size %d out of range (max %d)", blockSize, log.MaxBlockSize())
+	}
+	return &Disk{id: id, log: log, blockSize: blockSize, codec: codec.Identity{}, table: make(map[uint64]entry)}, nil
+}
+
+// SetCodec installs a block codec — the paper's compression and
+// encryption services (§2.2) composed under the logical disk. Install it
+// before writing; the same codec (and key) must be installed on every
+// mount of the same log.
+func (d *Disk) SetCodec(c codec.Codec) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c == nil {
+		c = codec.Identity{}
+	}
+	d.codec = c
+}
+
+// ID implements service.Service.
+func (d *Disk) ID() core.ServiceID { return d.id }
+
+// BlockSize returns the logical block size.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+func hintFor(lbn uint64) []byte {
+	e := wire.NewEncoder(8)
+	e.U64(lbn)
+	return e.Bytes()
+}
+
+func lbnFromHint(hint []byte) (uint64, error) {
+	d := wire.NewDecoder(hint)
+	lbn := d.U64()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("ldisk: bad hint: %w", err)
+	}
+	return lbn, nil
+}
+
+// Write stores data as the new contents of logical block lbn,
+// overwriting any previous contents.
+func (d *Disk) Write(lbn uint64, data []byte) error {
+	if len(data) > d.blockSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), d.blockSize)
+	}
+	stored, err := d.codec.Encode(data)
+	if err != nil {
+		return fmt.Errorf("ldisk: encode block %d: %w", lbn, err)
+	}
+	if len(stored) > d.log.MaxBlockSize() {
+		return fmt.Errorf("%w: encoded block is %d bytes", ErrTooLarge, len(stored))
+	}
+	addr, err := d.log.AppendBlock(d.id, stored, hintFor(lbn))
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	old, had := d.table[lbn]
+	d.table[lbn] = entry{addr: addr, size: uint32(len(stored))}
+	d.dirty = true
+	d.mu.Unlock()
+	if had {
+		if err := d.log.DeleteBlock(old.addr, old.size, d.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read returns the current contents of logical block lbn.
+func (d *Disk) Read(lbn uint64) ([]byte, error) {
+	d.mu.Lock()
+	e, ok := d.table[lbn]
+	cdc := d.codec
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoBlock, lbn)
+	}
+	stored, err := d.log.Read(e.addr, 0, e.size)
+	if err != nil {
+		return nil, err
+	}
+	data, err := cdc.Decode(stored)
+	if err != nil {
+		return nil, fmt.Errorf("ldisk: decode block %d: %w", lbn, err)
+	}
+	return data, nil
+}
+
+// Free discards logical block lbn.
+func (d *Disk) Free(lbn uint64) error {
+	d.mu.Lock()
+	e, ok := d.table[lbn]
+	if ok {
+		delete(d.table, lbn)
+		d.dirty = true
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoBlock, lbn)
+	}
+	return d.log.DeleteBlock(e.addr, e.size, d.id)
+}
+
+// Blocks returns the number of written logical blocks.
+func (d *Disk) Blocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.table)
+}
+
+// Sync flushes the underlying log.
+func (d *Disk) Sync() error { return d.log.Sync() }
+
+// Checkpoint persists the logical-to-log map.
+func (d *Disk) Checkpoint() error {
+	d.mu.Lock()
+	e := wire.NewEncoder(8 + len(d.table)*24)
+	e.U32(uint32(len(d.table)))
+	for lbn, ent := range d.table {
+		e.U64(lbn)
+		e.U64(uint64(ent.addr.FID))
+		e.U32(ent.addr.Off)
+		e.U32(ent.size)
+	}
+	d.dirty = false
+	d.mu.Unlock()
+	_, err := d.log.WriteCheckpoint(d.id, e.Bytes())
+	return err
+}
+
+// RestoreCheckpoint implements service.Service.
+func (d *Disk) RestoreCheckpoint(payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.table = make(map[uint64]entry)
+	if payload == nil {
+		return nil
+	}
+	dec := wire.NewDecoder(payload)
+	n := dec.U32()
+	for i := uint32(0); i < n && dec.Err() == nil; i++ {
+		lbn := dec.U64()
+		d.table[lbn] = entry{
+			addr: core.BlockAddr{FID: wire.FID(dec.U64()), Off: dec.U32()},
+			size: dec.U32(),
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("ldisk: bad checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Replay implements service.Service: creation records re-bind logical
+// blocks (later records win, which also absorbs cleaner moves); deletion
+// records unbind the matching address.
+func (d *Disk) Replay(rec core.ReplayEntry) error {
+	switch rec.Kind {
+	case core.EntryCreate:
+		cr, err := core.DecodeCreateRecord(rec.Payload)
+		if err != nil {
+			return err
+		}
+		lbn, err := lbnFromHint(cr.Hint)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.table[lbn] = entry{addr: cr.Addr, size: cr.Len}
+		d.mu.Unlock()
+	case core.EntryDelete:
+		dr, err := core.DecodeDeleteRecord(rec.Payload)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		for lbn, e := range d.table {
+			if e.addr == dr.Addr {
+				delete(d.table, lbn)
+				break
+			}
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// BlockMoved implements service.Service: rebind the logical block whose
+// hint matches, provided it still points at the old address.
+func (d *Disk) BlockMoved(old, newAddr core.BlockAddr, length uint32, hint []byte) error {
+	lbn, err := lbnFromHint(hint)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.table[lbn]; ok && e.addr == old {
+		d.table[lbn] = entry{addr: newAddr, size: length}
+		d.dirty = true
+	}
+	return nil
+}
+
+// BlockLive implements service.Service.
+func (d *Disk) BlockLive(addr core.BlockAddr, hint []byte) bool {
+	lbn, err := lbnFromHint(hint)
+	if err != nil {
+		return true // unknown: safe answer
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.table[lbn]
+	return ok && e.addr == addr
+}
+
+// CheckpointDemand implements service.Service by checkpointing now.
+func (d *Disk) CheckpointDemand() error { return d.Checkpoint() }

@@ -1,0 +1,242 @@
+// Package mab implements the Modified Andrew Benchmark (Ousterhout,
+// cited as [11] in the paper): the workload behind Figure 5. Five phases
+// run against a vfs.FileSystem — make the directory tree, copy the source
+// files into it, walk it stat-ing everything, read every file, and
+// "compile" (read sources, burn CPU, write objects, link) — followed by
+// an unmount, which the paper includes "to ensure that the data written
+// are eventually stored to disk" (§3.4).
+package mab
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swarm/internal/model"
+	"swarm/internal/vfs"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// Dirs is the number of directories in the tree. Default 8.
+	Dirs int
+	// FilesPerDir is the number of source files per directory. Default
+	// 9 (≈70 files total, like the original benchmark tree).
+	FilesPerDir int
+	// MinFileSize/MaxFileSize bound source file sizes. Defaults 1 KB
+	// and 16 KB.
+	MinFileSize int
+	MaxFileSize int
+	// CompileNsPerByte is the simulated compiler cost. The default of
+	// 12 µs/byte makes the compile phase dominate CPU time on the
+	// ~600 KB tree, the way it does on the paper's 200 MHz clients.
+	CompileNsPerByte int
+	// Seed makes the tree deterministic.
+	Seed int64
+	// CPU, when set, is charged for copy work and compilation; its Busy
+	// time feeds the CPU-utilization numbers of Figure 5. Clock
+	// defaults to the wall clock.
+	CPU   *model.CPU
+	Clock model.Clock
+}
+
+func (c *Config) setDefaults() {
+	if c.Dirs == 0 {
+		c.Dirs = 8
+	}
+	if c.FilesPerDir == 0 {
+		c.FilesPerDir = 9
+	}
+	if c.MinFileSize == 0 {
+		c.MinFileSize = 1 << 10
+	}
+	if c.MaxFileSize == 0 {
+		c.MaxFileSize = 16 << 10
+	}
+	if c.CompileNsPerByte == 0 {
+		c.CompileNsPerByte = 12000
+	}
+	if c.Clock == nil {
+		c.Clock = model.WallClock{}
+	}
+}
+
+// PhaseNames labels Result.Phases.
+var PhaseNames = [...]string{"mkdir", "copy", "scandir", "readall", "make", "unmount"}
+
+// Result reports per-phase and total times.
+type Result struct {
+	Phases  [6]time.Duration
+	Total   time.Duration
+	CPUBusy time.Duration
+	// Files and Bytes describe the generated tree.
+	Files int
+	Bytes int64
+}
+
+// CPUUtilization returns CPUBusy/Total (0..1).
+func (r Result) CPUUtilization() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	u := float64(r.CPUBusy) / float64(r.Total)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Setup writes the source tree under /src. It is benchmark preparation
+// and is not timed.
+func Setup(fs vfs.FileSystem, cfg Config) (files int, bytes int64, err error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if err := fs.Mkdir("/src"); err != nil {
+		return 0, 0, err
+	}
+	for d := 0; d < cfg.Dirs; d++ {
+		dir := fmt.Sprintf("/src/dir%02d", d)
+		if err := fs.Mkdir(dir); err != nil {
+			return files, bytes, err
+		}
+		for f := 0; f < cfg.FilesPerDir; f++ {
+			size := cfg.MinFileSize + rng.Intn(cfg.MaxFileSize-cfg.MinFileSize+1)
+			data := make([]byte, size)
+			rng.Read(data)
+			path := fmt.Sprintf("%s/file%02d.c", dir, f)
+			if err := vfs.WriteFile(fs, path, data); err != nil {
+				return files, bytes, err
+			}
+			files++
+			bytes += int64(size)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return files, bytes, err
+	}
+	return files, bytes, nil
+}
+
+// Run executes the five MAB phases plus unmount against fs, which must
+// already contain the tree written by Setup. After Run returns, fs is
+// unmounted.
+func Run(fs vfs.FileSystem, cfg Config) (Result, error) {
+	cfg.setDefaults()
+	var res Result
+	start := cfg.Clock.Now()
+	phaseStart := start
+
+	endPhase := func(i int) {
+		now := cfg.Clock.Now()
+		res.Phases[i] = now.Sub(phaseStart)
+		phaseStart = now
+	}
+
+	// Phase 1: mkdir — recreate the directory skeleton under /target.
+	if err := fs.Mkdir("/target"); err != nil {
+		return res, fmt.Errorf("mab mkdir: %w", err)
+	}
+	srcDirs, err := fs.ReadDir("/src")
+	if err != nil {
+		return res, err
+	}
+	for _, d := range srcDirs {
+		if err := fs.Mkdir("/target/" + d.Name); err != nil {
+			return res, fmt.Errorf("mab mkdir %s: %w", d.Name, err)
+		}
+	}
+	endPhase(0)
+
+	// Phase 2: copy every source file into the target tree.
+	for _, d := range srcDirs {
+		entries, err := fs.ReadDir("/src/" + d.Name)
+		if err != nil {
+			return res, err
+		}
+		for _, e := range entries {
+			data, err := vfs.ReadFile(fs, "/src/"+d.Name+"/"+e.Name)
+			if err != nil {
+				return res, err
+			}
+			cfg.CPU.Process(len(data)) // user-space copy cost
+			if err := vfs.WriteFile(fs, "/target/"+d.Name+"/"+e.Name, data); err != nil {
+				return res, err
+			}
+			res.Files++
+			res.Bytes += int64(len(data))
+		}
+	}
+	endPhase(1)
+
+	// Phase 3: scandir — recursive stat of the whole target tree.
+	err = vfs.Walk(fs, "/target", func(path string, info vfs.FileInfo) error {
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("mab scandir: %w", err)
+	}
+	endPhase(2)
+
+	// Phase 4: readall — read every file's contents.
+	err = vfs.Walk(fs, "/target", func(path string, info vfs.FileInfo) error {
+		if info.Mode.IsDir() {
+			return nil
+		}
+		data, rerr := vfs.ReadFile(fs, path)
+		if rerr != nil {
+			return rerr
+		}
+		cfg.CPU.Process(len(data))
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("mab readall: %w", err)
+	}
+	endPhase(3)
+
+	// Phase 5: make — compile each source into an object, then link.
+	var objects []string
+	var linkBytes int64
+	err = vfs.Walk(fs, "/target", func(path string, info vfs.FileInfo) error {
+		if info.Mode.IsDir() {
+			return nil
+		}
+		data, rerr := vfs.ReadFile(fs, path)
+		if rerr != nil {
+			return rerr
+		}
+		cfg.CPU.Compute(time.Duration(len(data)*cfg.CompileNsPerByte) * time.Nanosecond)
+		obj := path + ".o"
+		objData := make([]byte, len(data)*6/10)
+		if werr := vfs.WriteFile(fs, obj, objData); werr != nil {
+			return werr
+		}
+		objects = append(objects, obj)
+		linkBytes += int64(len(objData))
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("mab make: %w", err)
+	}
+	// Link: read all objects, write the executable.
+	for _, obj := range objects {
+		if _, err := vfs.ReadFile(fs, obj); err != nil {
+			return res, err
+		}
+	}
+	cfg.CPU.Compute(time.Duration(linkBytes*int64(cfg.CompileNsPerByte)/4) * time.Nanosecond)
+	if err := vfs.WriteFile(fs, "/target/a.out", make([]byte, linkBytes)); err != nil {
+		return res, err
+	}
+	endPhase(4)
+
+	// Unmount, as the paper's runs do.
+	if err := fs.Unmount(); err != nil {
+		return res, fmt.Errorf("mab unmount: %w", err)
+	}
+	endPhase(5)
+
+	res.Total = cfg.Clock.Now().Sub(start)
+	res.CPUBusy = cfg.CPU.Busy()
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package mab
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swarm/internal/disk"
+	"swarm/internal/extfs"
+	"swarm/internal/model"
+	"swarm/internal/vfs"
+)
+
+func newFS(t *testing.T) vfs.FileSystem {
+	t.Helper()
+	fs, err := extfs.Mkfs(disk.NewMemDisk(64<<20), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSetupBuildsDeterministicTree(t *testing.T) {
+	cfg := Config{Seed: 42}
+	fs := newFS(t)
+	files, bytes1, err := Setup(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 8*9 {
+		t.Fatalf("files = %d, want 72", files)
+	}
+	if bytes1 <= 0 {
+		t.Fatal("no bytes written")
+	}
+	// Same seed, same tree size.
+	fs2 := newFS(t)
+	files2, bytes2, err := Setup(fs2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files2 != files || bytes2 != bytes1 {
+		t.Fatalf("non-deterministic tree: (%d,%d) vs (%d,%d)", files, bytes1, files2, bytes2)
+	}
+	// The tree is visible.
+	entries, err := fs.ReadDir("/src")
+	if err != nil || len(entries) != 8 {
+		t.Fatalf("src dirs = (%d,%v)", len(entries), err)
+	}
+}
+
+func TestRunAllPhases(t *testing.T) {
+	fs := newFS(t)
+	cfg := Config{Seed: 1, CPU: model.NewCPU(nil, 0), CompileNsPerByte: 1}
+	if _, _, err := Setup(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 72 {
+		t.Fatalf("copied files = %d", res.Files)
+	}
+	if res.Total <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	var sum time.Duration
+	for i, p := range res.Phases {
+		if p < 0 {
+			t.Fatalf("phase %s negative: %v", PhaseNames[i], p)
+		}
+		sum += p
+	}
+	if sum > res.Total+time.Millisecond {
+		t.Fatalf("phases sum %v exceeds total %v", sum, res.Total)
+	}
+	// Unmount happened: the FS rejects further use.
+	if err := fs.Sync(); !errors.Is(err, vfs.ErrClosed) && err != nil {
+		t.Fatalf("fs after unmount: %v", err)
+	}
+}
+
+func TestCompileCostChargesCPU(t *testing.T) {
+	fs := newFS(t)
+	cpu := model.NewCPU(nil, 0)
+	cfg := Config{Seed: 1, CPU: cpu, CompileNsPerByte: 100}
+	if _, _, err := Setup(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUBusy <= 0 {
+		t.Fatal("no CPU busy time")
+	}
+	if res.CPUUtilization() <= 0 || res.CPUUtilization() > 1 {
+		t.Fatalf("utilization = %v", res.CPUUtilization())
+	}
+}
+
+func TestResultUtilizationEdgeCases(t *testing.T) {
+	var r Result
+	if r.CPUUtilization() != 0 {
+		t.Fatal("zero result utilization should be 0")
+	}
+	r = Result{Total: time.Second, CPUBusy: 2 * time.Second}
+	if r.CPUUtilization() != 1 {
+		t.Fatal("utilization should clamp to 1")
+	}
+}

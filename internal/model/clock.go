@@ -1,0 +1,127 @@
+// Package model provides the performance model used to reproduce the
+// hardware envelope of the Swarm paper's 1999 testbed (200 MHz Pentium Pro
+// machines, 100 Mb/s switched Ethernet, Quantum Viking II SCSI disks) on
+// modern hardware.
+//
+// The model is deliberately simple: real code paths run at full speed, but
+// the resources they contend for (disk heads, network links, client CPU)
+// are wrapped in token-bucket throttles whose rates come from the paper.
+// Elapsed wall-clock time through a throttled run therefore reproduces the
+// *shape* of the paper's measurements — who saturates first, how parity
+// overhead amortizes, where aggregate bandwidth scales — without needing
+// the original hardware.
+package model
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the performance model can be driven either by the
+// wall clock (throttled benchmarks) or by a manually advanced fake clock
+// (deterministic unit tests).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for at least d.
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real-time clock. Its Sleep is precise to a few
+// microseconds: the OS sleep primitive on many hosts has ~1 ms
+// granularity, which would swamp the performance model's
+// microsecond-level charges (a 200 µs network latency that actually
+// sleeps 1.1 ms is a 5× error), so short waits spin on time.Now.
+type WallClock struct{}
+
+var _ Clock = WallClock{}
+
+// coarseSleepSlack is how much earlier than the deadline the OS sleep is
+// asked to wake, leaving the remainder to the spin loop.
+const coarseSleepSlack = 1300 * time.Microsecond
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d with microsecond precision.
+func (WallClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > coarseSleepSlack {
+		time.Sleep(d - coarseSleepSlack)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// FakeClock is a manually advanced clock for deterministic tests. Sleepers
+// block until Advance has moved the clock past their deadline.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+var _ Clock = (*FakeClock)(nil)
+
+// NewFakeClock returns a FakeClock starting at the given time.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep blocks until the clock has been advanced past now+d.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	w := &fakeWaiter{deadline: c.now.Add(d), ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	<-w.ch
+}
+
+// Advance moves the clock forward by d and wakes any sleepers whose
+// deadlines have passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	remaining := c.waiters[:0]
+	var wake []*fakeWaiter
+	for _, w := range c.waiters {
+		if !w.deadline.After(c.now) {
+			wake = append(wake, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	c.waiters = remaining
+	c.mu.Unlock()
+	for _, w := range wake {
+		close(w.ch)
+	}
+}
+
+// NumWaiters reports how many goroutines are blocked in Sleep. It lets
+// tests advance the clock only once sleepers have registered.
+func (c *FakeClock) NumWaiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,320 @@
+package model
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvanceWakesSleepers(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(100 * time.Millisecond)
+		close(done)
+	}()
+	for c.NumWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before clock advanced")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(99 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}
+
+func TestFakeClockNow(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := NewFakeClock(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	c.Advance(5 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now() after advance = %v", got)
+	}
+}
+
+func TestFakeClockZeroSleepReturnsImmediately(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero sleep blocked")
+	}
+}
+
+func TestThrottleNilIsUnlimited(t *testing.T) {
+	var th *Throttle
+	start := time.Now()
+	th.Acquire(1 << 30)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("nil throttle delayed caller")
+	}
+	if th.Busy() != 0 {
+		t.Fatal("nil throttle reported busy time")
+	}
+}
+
+func TestThrottleEnforcesRate(t *testing.T) {
+	// 10 MB/s, tiny burst: acquiring 1 MB should take ~100ms.
+	th := NewThrottle(WallClock{}, 10*MB, 64<<10)
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		th.Acquire(62500) // 1 MB total
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond || elapsed > 400*time.Millisecond {
+		t.Fatalf("1MB at 10MB/s took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestThrottleBusyAccounting(t *testing.T) {
+	th := NewThrottle(WallClock{}, 1*MB, 1*MB)
+	th.Acquire(500_000)
+	busy := th.Busy()
+	want := 500 * time.Millisecond
+	if busy < want-time.Millisecond || busy > want+time.Millisecond {
+		t.Fatalf("Busy() = %v, want ~%v", busy, want)
+	}
+}
+
+func TestThrottleBurstAbsorbsInitialSpike(t *testing.T) {
+	th := NewThrottle(WallClock{}, 1, 1*MB) // 1 B/s but 1 MB burst
+	start := time.Now()
+	th.Acquire(999_999) // within the burst: free
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("burst did not absorb initial acquire")
+	}
+}
+
+func TestThrottleReserveMatchesAcquire(t *testing.T) {
+	th := NewThrottle(WallClock{}, 10*MB, 1000)
+	if w := th.Reserve(1000); w != 0 {
+		t.Fatalf("first reserve within burst waited %v", w)
+	}
+	w := th.Reserve(500_000)
+	if w < 45*time.Millisecond || w > 55*time.Millisecond {
+		t.Fatalf("reserve(500KB at 10MB/s) = %v, want ~50ms", w)
+	}
+	var nilTh *Throttle
+	if nilTh.Reserve(1000) != 0 {
+		t.Fatal("nil throttle reserved time")
+	}
+}
+
+func TestThrottleConcurrentAcquireIsSafe(t *testing.T) {
+	th := NewThrottle(WallClock{}, 100*MB, 1*MB)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				th.Acquire(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if th.Busy() <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestCPUComputeAndBusy(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	cpu := NewCPU(clock, 0)
+	done := make(chan struct{})
+	go func() {
+		cpu.Compute(50 * time.Millisecond)
+		close(done)
+	}()
+	for clock.NumWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(50 * time.Millisecond)
+	<-done
+	if got := cpu.Busy(); got != 50*time.Millisecond {
+		t.Fatalf("Busy() = %v, want 50ms", got)
+	}
+}
+
+func TestCPUNilIsNoop(t *testing.T) {
+	var cpu *CPU
+	cpu.Process(1 << 30)
+	cpu.Compute(time.Hour)
+	if cpu.Busy() != 0 {
+		t.Fatal("nil CPU reported busy time")
+	}
+}
+
+func TestCPUUnlimitedProcessIsFast(t *testing.T) {
+	cpu := NewCPU(WallClock{}, 0)
+	start := time.Now()
+	cpu.Process(1 << 30)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("unlimited CPU throttled")
+	}
+}
+
+func TestPaper1999Params(t *testing.T) {
+	p := Paper1999()
+	if p.DiskRate != 10.3*MB {
+		t.Errorf("DiskRate = %v", p.DiskRate)
+	}
+	if p.NetRate != 12.5*MB {
+		t.Errorf("NetRate = %v, want 12.5 MB/s", p.NetRate)
+	}
+	if p.ClientCPU <= 6.4*MB || p.ClientCPU >= 7.7*MB {
+		t.Errorf("ClientCPU = %v, want ~6.8 MB/s", p.ClientCPU)
+	}
+	if p.ServerCPU <= 7.7*MB || p.ServerCPU >= 9*MB {
+		t.Errorf("ServerCPU = %v, want ~8.3 MB/s", p.ServerCPU)
+	}
+}
+
+func TestScaledParams(t *testing.T) {
+	p := Paper1999()
+	q := p.Scaled(10)
+	if q.DiskRate != p.DiskRate*10 {
+		t.Errorf("scaled DiskRate = %v", q.DiskRate)
+	}
+	if q.NetLatency != p.NetLatency/10 {
+		t.Errorf("scaled NetLatency = %v", q.NetLatency)
+	}
+	if got := p.Scaled(1); got != p {
+		t.Error("Scaled(1) is not identity")
+	}
+	if got := p.Scaled(0); got != p {
+		t.Error("Scaled(0) should be identity")
+	}
+}
+
+func TestQueueSerializesService(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	q := NewQueue(clock, 1*MB) // 1 MB/s
+	// First request: idle queue, waits its own service time.
+	if w := q.Reserve(100_000); w != 100*time.Millisecond {
+		t.Fatalf("first reserve = %v, want 100ms", w)
+	}
+	// Second request queues behind the first: 100ms queueing + 100ms
+	// service.
+	if w := q.Reserve(100_000); w != 200*time.Millisecond {
+		t.Fatalf("second reserve = %v, want 200ms", w)
+	}
+	// After time passes, the queue drains and new requests start fresh.
+	clock.Advance(500 * time.Millisecond)
+	if w := q.Reserve(100_000); w != 100*time.Millisecond {
+		t.Fatalf("post-drain reserve = %v, want 100ms", w)
+	}
+	if got := q.Busy(); got != 300*time.Millisecond {
+		t.Fatalf("Busy = %v, want 300ms", got)
+	}
+	if q.Rate() != 1*MB {
+		t.Fatalf("Rate = %v", q.Rate())
+	}
+}
+
+func TestQueueNoIdleCredit(t *testing.T) {
+	// Unlike a token bucket, idle time earns nothing: a request after a
+	// long idle period still pays full service time.
+	clock := NewFakeClock(time.Unix(0, 0))
+	q := NewQueue(clock, 10*MB)
+	clock.Advance(time.Hour)
+	if w := q.Reserve(1_000_000); w != 100*time.Millisecond {
+		t.Fatalf("reserve after idle = %v, want 100ms", w)
+	}
+}
+
+func TestQueueNilAndZero(t *testing.T) {
+	var q *Queue
+	if q.Reserve(1000) != 0 || q.Busy() != 0 || q.Rate() != 0 {
+		t.Fatal("nil queue misbehaved")
+	}
+	q.Acquire(1000) // must not panic
+	q2 := NewQueue(NewFakeClock(time.Unix(0, 0)), 0)
+	if q2.Reserve(1000) != 0 {
+		t.Fatal("zero-rate queue delayed")
+	}
+	q3 := NewQueue(nil, 1*MB)
+	if q3.Reserve(0) != 0 || q3.Reserve(-5) != 0 {
+		t.Fatal("non-positive reserve delayed")
+	}
+}
+
+func TestQueueReserveDur(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	q := NewQueue(clock, 0) // rate-less: only explicit durations
+	if w := q.ReserveDur(50 * time.Millisecond); w != 50*time.Millisecond {
+		t.Fatalf("first = %v", w)
+	}
+	if w := q.ReserveDur(50 * time.Millisecond); w != 100*time.Millisecond {
+		t.Fatalf("second = %v", w)
+	}
+	if w := q.ReserveDur(0); w != 0 {
+		t.Fatalf("zero duration = %v", w)
+	}
+}
+
+func TestQueueAcquireSleeps(t *testing.T) {
+	q := NewQueue(WallClock{}, 1*MB)
+	start := time.Now()
+	q.Acquire(50_000) // 50ms at 1MB/s
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("acquire returned after %v, want ~50ms", elapsed)
+	}
+}
+
+func TestQueueConcurrentSafety(t *testing.T) {
+	q := NewQueue(WallClock{}, 1000*MB)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				q.Reserve(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(8*200*1000) * time.Second / time.Duration(1000*MB)
+	if got := q.Busy(); got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("Busy = %v, want ~%v", got, want)
+	}
+}
+
+func TestWallClockSleepPrecision(t *testing.T) {
+	c := WallClock{}
+	for _, d := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		start := time.Now()
+		c.Sleep(d)
+		elapsed := time.Since(start)
+		if elapsed < d {
+			t.Fatalf("Sleep(%v) returned after %v", d, elapsed)
+		}
+		if elapsed > d+2*time.Millisecond {
+			t.Fatalf("Sleep(%v) overshot to %v", d, elapsed)
+		}
+	}
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+}

@@ -1,0 +1,111 @@
+package model
+
+import "time"
+
+// Hardware constants of the paper's testbed (§3.3 "Experimental setup").
+// All rates are bytes per second.
+const (
+	// MB is the decimal megabyte the paper's MB/s figures use.
+	MB = 1e6
+
+	// DiskSeqRate is the sequential fragment-write rate of the storage
+	// server's Quantum Viking II disk: "The storage server can write
+	// fragment-sized blocks to the disk at 10.3 MB/s."
+	DiskSeqRate = 10.3 * MB
+
+	// DiskSeekTime approximates an average seek of the Viking II.
+	DiskSeekTime = 8 * time.Millisecond
+
+	// DiskRotLatency is half a revolution at 7200 RPM.
+	DiskRotLatency = 4170 * time.Microsecond
+
+	// NetLinkRate is one host's 100 Mb/s switched Ethernet link. The
+	// switch is non-blocking, so contention is per host NIC.
+	NetLinkRate = 100e6 / 8
+
+	// NetMsgLatency is the per-message switch+stack latency.
+	NetMsgLatency = 200 * time.Microsecond
+
+	// ClientCPURate calibrates the 200 MHz Pentium Pro client's log
+	// processing rate (copy + checksum + parity XOR per log byte moved).
+	// The paper measures a single client saturating at 6.1 MB/s raw with
+	// small additional gains to 6.4 MB/s at eight servers. The constant
+	// is set so the END-TO-END measured plateau lands there; the ~8%
+	// headroom over 6.4 absorbs the model's fixed per-fragment costs.
+	ClientCPURate = 6.8 * MB
+
+	// ClientPerFragmentOverhead is fixed client work per fragment
+	// (RPC marshalling, map updates).
+	ClientPerFragmentOverhead = 4 * time.Millisecond
+
+	// ServerCPURate caps a storage server's effective ingest: "A single
+	// server is capable of sustaining 7.7 MB/s" even though its disk
+	// writes at 10.3 MB/s — the gap is request processing overhead. Like
+	// ClientCPURate, the constant is calibrated so the measured
+	// multi-client per-server ceiling lands at the paper's 7.7.
+	ServerCPURate = 8.3 * MB
+
+	// ServerPerRequestOverhead is fixed server work per request, the
+	// dominant cost of the paper's cold 4 KB reads (≈1.7 MB/s means
+	// ≈2.3 ms per 4 KB round trip; the disk and wire stages supply the
+	// rest of that round trip, so the fixed part is smaller).
+	ServerPerRequestOverhead = 1500 * time.Microsecond
+)
+
+// HardwareParams bundles the throttling configuration of one emulated 1999
+// host pair. Zero rates mean "unlimited".
+type HardwareParams struct {
+	// DiskRate is the server disk's sequential transfer rate (B/s).
+	DiskRate float64
+	// DiskSeek is charged for each non-sequential disk access.
+	DiskSeek time.Duration
+	// DiskRotation is charged for each disk access.
+	DiskRotation time.Duration
+	// NetRate is a host network link's rate (B/s).
+	NetRate float64
+	// NetLatency is charged per message.
+	NetLatency time.Duration
+	// ClientCPU is the client's log-processing rate (B/s).
+	ClientCPU float64
+	// ClientFragOverhead is fixed client time per fragment.
+	ClientFragOverhead time.Duration
+	// ServerCPU is the server's request-processing rate (B/s).
+	ServerCPU float64
+	// ServerReqOverhead is fixed server time per request.
+	ServerReqOverhead time.Duration
+}
+
+// Paper1999 returns the testbed parameters from the paper.
+func Paper1999() HardwareParams {
+	return HardwareParams{
+		DiskRate:           DiskSeqRate,
+		DiskSeek:           DiskSeekTime,
+		DiskRotation:       DiskRotLatency,
+		NetRate:            NetLinkRate,
+		NetLatency:         NetMsgLatency,
+		ClientCPU:          ClientCPURate,
+		ClientFragOverhead: ClientPerFragmentOverhead,
+		ServerCPU:          ServerCPURate,
+		ServerReqOverhead:  ServerPerRequestOverhead,
+	}
+}
+
+// Scaled returns a copy of p with every rate multiplied and every latency
+// divided by factor, letting benchmarks run the same contention structure
+// proportionally faster. Scaled(1) is the identity.
+func (p HardwareParams) Scaled(factor float64) HardwareParams {
+	if factor <= 0 || factor == 1 {
+		return p
+	}
+	q := p
+	q.DiskRate *= factor
+	q.NetRate *= factor
+	q.ClientCPU *= factor
+	q.ServerCPU *= factor
+	q.DiskSeek = time.Duration(float64(p.DiskSeek) / factor)
+	q.DiskRotation = time.Duration(float64(p.DiskRotation) / factor)
+	q.NetLatency = time.Duration(float64(p.NetLatency) / factor)
+	q.ClientFragOverhead = time.Duration(float64(p.ClientFragOverhead) / factor)
+	q.ServerReqOverhead = time.Duration(float64(p.ServerReqOverhead) / factor)
+	return q
+}

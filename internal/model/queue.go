@@ -1,0 +1,88 @@
+package model
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue models a serially shared resource as a FIFO queue with a fixed
+// service rate: a request's service begins when the previous request's
+// service ends (or now, if the resource is idle). Unlike a token bucket,
+// a Queue gives no credit for idle time — a 1 MB transfer always occupies
+// the wire for its full service time — which is what makes request
+// *latency*, and therefore pipelining effects, come out right.
+//
+// A nil *Queue is valid and imposes no delay.
+type Queue struct {
+	mu      sync.Mutex
+	clock   Clock
+	rate    float64 // bytes per second
+	lastEnd time.Time
+	busy    time.Duration
+}
+
+// NewQueue returns a queue serving rate bytes/second.
+func NewQueue(clock Clock, rate float64) *Queue {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Queue{clock: clock, rate: rate}
+}
+
+// Reserve enqueues n bytes of service and returns how long the caller
+// must wait for its service to complete (queueing delay + service time).
+// The caller is expected to sleep for the returned duration, possibly
+// folded with other resources' waits.
+func (q *Queue) Reserve(n int) time.Duration {
+	if q == nil || n <= 0 {
+		return 0
+	}
+	if q.rate <= 0 {
+		return 0
+	}
+	return q.ReserveDur(time.Duration(float64(n) / q.rate * float64(time.Second)))
+}
+
+// ReserveDur enqueues a request with an explicit service time.
+func (q *Queue) ReserveDur(service time.Duration) time.Duration {
+	if q == nil || service <= 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.clock.Now()
+	start := q.lastEnd
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(service)
+	q.lastEnd = end
+	q.busy += service
+	return end.Sub(now)
+}
+
+// Acquire reserves and sleeps.
+func (q *Queue) Acquire(n int) {
+	if q == nil {
+		return
+	}
+	q.clock.Sleep(q.Reserve(n))
+}
+
+// Busy reports cumulative service time.
+func (q *Queue) Busy() time.Duration {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.busy
+}
+
+// Rate returns the configured rate (0 for nil).
+func (q *Queue) Rate() float64 {
+	if q == nil {
+		return 0
+	}
+	return q.rate
+}

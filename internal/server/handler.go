@@ -1,0 +1,161 @@
+package server
+
+import (
+	"errors"
+
+	"swarm/internal/wire"
+)
+
+// Handle dispatches one decoded request against the store and returns the
+// response status and body. It is transport-independent: the TCP front end
+// and the in-process transport both call it.
+func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Status, wire.Message) {
+	switch op {
+	case wire.OpPing:
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpStore:
+		var req wire.StoreRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		if err := s.Store(req.FID, req.Data, req.Mark, req.Ranges); err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpRead:
+		var req wire.ReadRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		data, err := s.Read(client, req.FID, req.Off, req.Len)
+		if err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.ReadResponse{Data: data}
+
+	case wire.OpDelete:
+		var req wire.DeleteRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		if err := s.Delete(client, req.FID); err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpPrealloc:
+		var req wire.PreallocRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		if err := s.Prealloc(req.FID); err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpLastMarked:
+		var req wire.LastMarkedRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		fid, found := s.LastMarked(req.Client)
+		return wire.StatusOK, &wire.LastMarkedResponse{FID: fid, Found: found}
+
+	case wire.OpHasFragment:
+		var req wire.HasFragmentRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		size, found := s.Has(req.FID)
+		return wire.StatusOK, &wire.HasFragmentResponse{Found: found, Size: size}
+
+	case wire.OpListFIDs:
+		var req wire.ListFIDsRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		return wire.StatusOK, &wire.ListFIDsResponse{FIDs: s.List(req.Client)}
+
+	case wire.OpACLCreate:
+		var req wire.ACLCreateRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		aid := s.acls.Create(req.Members)
+		return wire.StatusOK, &wire.ACLCreateResponse{AID: aid}
+
+	case wire.OpACLModify:
+		var req wire.ACLModifyRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		if err := s.acls.Modify(req.AID, req.Add, req.Remove); err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpACLDelete:
+		var req wire.ACLDeleteRequest
+		if err := req.Decode(wire.NewDecoder(body)); err != nil {
+			return wire.StatusBadRequest, errMsg(err)
+		}
+		if err := s.acls.Delete(req.AID); err != nil {
+			return mapErr(err)
+		}
+		return wire.StatusOK, &wire.GenericResponse{}
+
+	case wire.OpStat:
+		st := s.Stats()
+		return wire.StatusOK, &wire.StatResponse{
+			FragmentSize: uint32(st.FragmentSize),
+			TotalSlots:   uint32(st.TotalSlots),
+			FreeSlots:    uint32(st.FreeSlots),
+			Fragments:    uint32(st.Fragments),
+		}
+
+	default:
+		return wire.StatusBadRequest, errMsgStr("unknown op")
+	}
+}
+
+// errBody carries an error string; non-OK responses encode it.
+type errBody struct{ msg string }
+
+func (e *errBody) Encode(enc *wire.Encoder) { enc.String32(e.msg) }
+func (e *errBody) Decode(d *wire.Decoder) error {
+	e.msg = d.String32()
+	return d.Err()
+}
+
+func errMsg(err error) wire.Message     { return &errBody{msg: err.Error()} }
+func errMsgStr(msg string) wire.Message { return &errBody{msg: msg} }
+
+// ErrText extracts the error message from a non-OK response message
+// produced by Handle.
+func ErrText(msg wire.Message) string {
+	if e, ok := msg.(*errBody); ok {
+		return e.msg
+	}
+	return ""
+}
+
+func mapErr(err error) (wire.Status, wire.Message) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return wire.StatusNotFound, errMsg(err)
+	case errors.Is(err, ErrExists):
+		return wire.StatusExists, errMsg(err)
+	case errors.Is(err, ErrNoSpace):
+		return wire.StatusNoSpace, errMsg(err)
+	case errors.Is(err, ErrAccess):
+		return wire.StatusAccess, errMsg(err)
+	case errors.Is(err, ErrNoACL):
+		return wire.StatusNotFound, errMsg(err)
+	case errors.Is(err, ErrTooLarge), errors.Is(err, ErrBadRange):
+		return wire.StatusBadRequest, errMsg(err)
+	default:
+		return wire.StatusInternal, errMsg(err)
+	}
+}

@@ -1,0 +1,511 @@
+// Package server implements the Swarm storage server: a repository for log
+// fragments. Per the paper (§2.3), a storage server is "little more than a
+// virtual disk that provides a sparse address space, with additional
+// support for client crash recovery, security, and fragment
+// reconstruction". Servers never interpret fragment contents, never see
+// blocks or records, and never communicate with each other.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"swarm/internal/disk"
+	"swarm/internal/wire"
+)
+
+// Store errors.
+var (
+	// ErrNotFound is returned for operations on absent fragments.
+	ErrNotFound = errors.New("server: fragment not found")
+	// ErrExists is returned when storing an already-stored fragment.
+	ErrExists = errors.New("server: fragment already exists")
+	// ErrNoSpace is returned when no free slot is available.
+	ErrNoSpace = errors.New("server: no free slots")
+	// ErrTooLarge is returned when data exceeds the fragment size.
+	ErrTooLarge = errors.New("server: data larger than fragment size")
+	// ErrBadRange is returned for reads outside the stored fragment.
+	ErrBadRange = errors.New("server: read out of range")
+	// ErrAccess is returned when an ACL denies the requested access.
+	ErrAccess = errors.New("server: access denied")
+	// ErrCorruptMeta is returned when on-disk metadata fails validation.
+	ErrCorruptMeta = errors.New("server: corrupt on-disk metadata")
+)
+
+const (
+	superblockSize = 512
+	superMagic     = 0x53575342 // "SWSB"
+	// aclRegionSize reserves space after the superblock for the
+	// persistent ACL database (§2.3.2: "The server maintains a database
+	// of ACLs").
+	aclRegionSize = 64 << 10
+	entrySize     = 256
+	entryMagic    = 0x53575345 // "SWSE"
+	maxACLRanges  = 14         // fits a 256-byte slot entry
+
+	flagUsed     = 1 << 0
+	flagMarked   = 1 << 1
+	flagPrealloc = 1 << 2
+)
+
+// slotEntry is the persistent per-slot metadata record. One entry is
+// rewritten, in a single disk write, to commit or delete a fragment — this
+// single write is the store's atomicity point (§2.3.1: "All storage server
+// operations are atomic").
+type slotEntry struct {
+	fid    wire.FID
+	size   uint32
+	flags  uint16
+	ranges []wire.ACLRange
+}
+
+func (s *slotEntry) used() bool     { return s.flags&flagUsed != 0 }
+func (s *slotEntry) marked() bool   { return s.flags&flagMarked != 0 }
+func (s *slotEntry) prealloc() bool { return s.flags&flagPrealloc != 0 }
+
+func (s *slotEntry) encode() []byte {
+	buf := make([]byte, entrySize)
+	binary.LittleEndian.PutUint32(buf[0:], entryMagic)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(s.fid))
+	binary.LittleEndian.PutUint32(buf[12:], s.size)
+	binary.LittleEndian.PutUint16(buf[16:], s.flags)
+	binary.LittleEndian.PutUint16(buf[18:], uint16(len(s.ranges)))
+	off := 20
+	for _, r := range s.ranges {
+		binary.LittleEndian.PutUint32(buf[off:], r.Off)
+		binary.LittleEndian.PutUint32(buf[off+4:], r.Len)
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(r.AID))
+		off += 12
+	}
+	binary.LittleEndian.PutUint32(buf[entrySize-4:], crc32.ChecksumIEEE(buf[:entrySize-4]))
+	return buf
+}
+
+func decodeSlotEntry(buf []byte) (slotEntry, error) {
+	var s slotEntry
+	if len(buf) != entrySize {
+		return s, fmt.Errorf("%w: entry size %d", ErrCorruptMeta, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != entryMagic {
+		return s, fmt.Errorf("%w: bad entry magic", ErrCorruptMeta)
+	}
+	if crc32.ChecksumIEEE(buf[:entrySize-4]) != binary.LittleEndian.Uint32(buf[entrySize-4:]) {
+		return s, fmt.Errorf("%w: entry checksum", ErrCorruptMeta)
+	}
+	s.fid = wire.FID(binary.LittleEndian.Uint64(buf[4:]))
+	s.size = binary.LittleEndian.Uint32(buf[12:])
+	s.flags = binary.LittleEndian.Uint16(buf[16:])
+	n := binary.LittleEndian.Uint16(buf[18:])
+	if n > maxACLRanges {
+		return s, fmt.Errorf("%w: %d ACL ranges", ErrCorruptMeta, n)
+	}
+	off := 20
+	for i := uint16(0); i < n; i++ {
+		s.ranges = append(s.ranges, wire.ACLRange{
+			Off: binary.LittleEndian.Uint32(buf[off:]),
+			Len: binary.LittleEndian.Uint32(buf[off+4:]),
+			AID: wire.AID(binary.LittleEndian.Uint32(buf[off+8:])),
+		})
+		off += 12
+	}
+	return s, nil
+}
+
+// Config parameterizes a fragment store.
+type Config struct {
+	// FragmentSize is the fixed fragment slot size in bytes (the paper
+	// uses 1 MB). Must be positive.
+	FragmentSize int
+}
+
+// DefaultFragmentSize matches the paper's prototype.
+const DefaultFragmentSize = 1 << 20
+
+// Store is the fragment repository: a slot allocator plus a persistent
+// FID→slot map over a Disk. It is safe for concurrent use.
+type Store struct {
+	d        disk.Disk
+	fragSize int
+	numSlots int
+	slotsOff int64
+
+	mu    sync.RWMutex
+	bySID map[wire.FID]int // FID → slot index
+	slots []slotEntry      // in-memory mirror of the on-disk entries
+	free  []int            // free slot indices (LIFO)
+
+	acls *ACLDB
+}
+
+// Format initializes a disk as an empty fragment store and returns it
+// opened. Existing contents are destroyed.
+func Format(d disk.Disk, cfg Config) (*Store, error) {
+	if cfg.FragmentSize <= 0 {
+		cfg.FragmentSize = DefaultFragmentSize
+	}
+	avail := d.Size() - superblockSize - aclRegionSize
+	per := int64(cfg.FragmentSize) + entrySize
+	numSlots := int(avail / per)
+	if numSlots < 1 {
+		return nil, fmt.Errorf("server: disk too small: %d bytes for %d-byte fragments", d.Size(), cfg.FragmentSize)
+	}
+	sb := make([]byte, superblockSize)
+	binary.LittleEndian.PutUint32(sb[0:], superMagic)
+	binary.LittleEndian.PutUint32(sb[4:], 1) // version
+	binary.LittleEndian.PutUint32(sb[8:], uint32(cfg.FragmentSize))
+	binary.LittleEndian.PutUint32(sb[12:], uint32(numSlots))
+	binary.LittleEndian.PutUint32(sb[superblockSize-4:], crc32.ChecksumIEEE(sb[:superblockSize-4]))
+	if err := d.WriteAt(sb, 0); err != nil {
+		return nil, fmt.Errorf("write superblock: %w", err)
+	}
+	// Zero the ACL region and the entry table so no stale state
+	// survives the format.
+	if err := d.WriteAt(make([]byte, aclRegionSize), superblockSize); err != nil {
+		return nil, fmt.Errorf("zero ACL region: %w", err)
+	}
+	zero := make([]byte, entrySize)
+	for i := 0; i < numSlots; i++ {
+		if err := d.WriteAt(zero, entryTableOff+int64(i)*entrySize); err != nil {
+			return nil, fmt.Errorf("zero slot entry %d: %w", i, err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		return nil, fmt.Errorf("sync format: %w", err)
+	}
+	return Open(d)
+}
+
+// Open loads an existing fragment store from a formatted disk, rebuilding
+// the in-memory maps from the persistent slot entries.
+func Open(d disk.Disk) (*Store, error) {
+	sb := make([]byte, superblockSize)
+	if err := d.ReadAt(sb, 0); err != nil {
+		return nil, fmt.Errorf("read superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != superMagic {
+		return nil, fmt.Errorf("%w: bad superblock magic", ErrCorruptMeta)
+	}
+	if crc32.ChecksumIEEE(sb[:superblockSize-4]) != binary.LittleEndian.Uint32(sb[superblockSize-4:]) {
+		return nil, fmt.Errorf("%w: superblock checksum", ErrCorruptMeta)
+	}
+	fragSize := int(binary.LittleEndian.Uint32(sb[8:]))
+	numSlots := int(binary.LittleEndian.Uint32(sb[12:]))
+	s := &Store{
+		d:        d,
+		fragSize: fragSize,
+		numSlots: numSlots,
+		slotsOff: entryTableOff + int64(numSlots)*entrySize,
+		bySID:    make(map[wire.FID]int),
+		slots:    make([]slotEntry, numSlots),
+		acls:     NewACLDB(),
+	}
+	if err := s.loadACLs(); err != nil {
+		return nil, err
+	}
+	s.acls.onChange = s.persistACLs
+	buf := make([]byte, entrySize)
+	for i := 0; i < numSlots; i++ {
+		if err := d.ReadAt(buf, entryTableOff+int64(i)*entrySize); err != nil {
+			return nil, fmt.Errorf("read slot entry %d: %w", i, err)
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != entryMagic {
+			// Never written or cleared: a free slot.
+			s.free = append(s.free, i)
+			continue
+		}
+		ent, err := decodeSlotEntry(buf)
+		if err != nil {
+			// A torn entry write means the commit never happened;
+			// treat the slot as free (the atomicity contract).
+			s.free = append(s.free, i)
+			continue
+		}
+		if !ent.used() {
+			s.free = append(s.free, i)
+			continue
+		}
+		s.slots[i] = ent
+		s.bySID[ent.fid] = i
+	}
+	// Hand out low slots first for deterministic layouts.
+	sort.Sort(sort.Reverse(sort.IntSlice(s.free)))
+	return s, nil
+}
+
+// FragmentSize returns the slot size in bytes.
+func (s *Store) FragmentSize() int { return s.fragSize }
+
+// ACLs returns the server's ACL database.
+func (s *Store) ACLs() *ACLDB { return s.acls }
+
+// entryTableOff is where the slot-entry table begins.
+const entryTableOff = superblockSize + aclRegionSize
+
+const aclMagic = 0x53574143 // "SWAC"
+
+// persistACLs writes the ACL database into its reserved region. Called
+// from the database's onChange hook (db.mu held).
+func (s *Store) persistACLs() error {
+	img := s.acls.encodeLocked()
+	if len(img)+12 > aclRegionSize {
+		return fmt.Errorf("server: ACL database (%d bytes) exceeds reserved region", len(img))
+	}
+	buf := make([]byte, 12+len(img))
+	binary.LittleEndian.PutUint32(buf[0:], aclMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(img)))
+	copy(buf[12:], img)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(img))
+	if err := s.d.WriteAt(buf, superblockSize); err != nil {
+		return fmt.Errorf("write ACL region: %w", err)
+	}
+	return s.d.Sync()
+}
+
+// loadACLs restores the ACL database from disk (a zeroed region means an
+// empty database; a torn write is treated the same, since ACL updates
+// re-persist on the next change).
+func (s *Store) loadACLs() error {
+	hdr := make([]byte, 12)
+	if err := s.d.ReadAt(hdr, superblockSize); err != nil {
+		return fmt.Errorf("read ACL region: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != aclMagic {
+		return nil // never written
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if int(n) > aclRegionSize-12 {
+		return nil
+	}
+	img := make([]byte, n)
+	if err := s.d.ReadAt(img, superblockSize+12); err != nil {
+		return fmt.Errorf("read ACL database: %w", err)
+	}
+	if crc32.ChecksumIEEE(img) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return nil // torn write: start empty rather than refuse to boot
+	}
+	return s.acls.decodeInto(img)
+}
+
+func (s *Store) entryOff(slot int) int64 { return entryTableOff + int64(slot)*entrySize }
+func (s *Store) slotOff(slot int) int64  { return s.slotsOff + int64(slot)*int64(s.fragSize) }
+
+func (s *Store) writeEntry(slot int, ent slotEntry) error {
+	if err := s.d.WriteAt(ent.encode(), s.entryOff(slot)); err != nil {
+		return fmt.Errorf("write slot entry: %w", err)
+	}
+	if err := s.d.Sync(); err != nil {
+		return fmt.Errorf("sync slot entry: %w", err)
+	}
+	s.slots[slot] = ent
+	return nil
+}
+
+// Store writes a complete fragment. The data is written to a free slot and
+// synced before the slot entry commits it, so a crash leaves either the
+// whole fragment or nothing. mark flags the fragment for LastMarked.
+func (s *Store) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	if len(data) > s.fragSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), s.fragSize)
+	}
+	if len(ranges) > maxACLRanges {
+		return fmt.Errorf("server: too many ACL ranges: %d > %d", len(ranges), maxACLRanges)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, preallocated := s.bySID[fid]
+	if preallocated {
+		if !s.slots[slot].prealloc() {
+			return fmt.Errorf("%w: %v", ErrExists, fid)
+		}
+	} else {
+		if len(s.free) == 0 {
+			return ErrNoSpace
+		}
+		slot = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	}
+	rollback := func() {
+		if !preallocated {
+			s.free = append(s.free, slot)
+		}
+	}
+	if err := s.d.WriteAt(data, s.slotOff(slot)); err != nil {
+		rollback()
+		return fmt.Errorf("write fragment data: %w", err)
+	}
+	if err := s.d.Sync(); err != nil {
+		rollback()
+		return fmt.Errorf("sync fragment data: %w", err)
+	}
+	flags := uint16(flagUsed)
+	if mark {
+		flags |= flagMarked
+	}
+	ent := slotEntry{fid: fid, size: uint32(len(data)), flags: flags, ranges: ranges}
+	if err := s.writeEntry(slot, ent); err != nil {
+		rollback()
+		return err
+	}
+	s.bySID[fid] = slot
+	return nil
+}
+
+// checkAccess verifies client may touch [off,off+n) of the entry's data.
+// Unprotected ranges (no AID assigned) are open to everyone.
+func (s *Store) checkAccess(ent *slotEntry, client wire.ClientID, off, n uint32) error {
+	for _, r := range ent.ranges {
+		if off+n <= r.Off || off >= r.End() {
+			continue // no overlap
+		}
+		if !s.acls.Allowed(r.AID, client) {
+			return fmt.Errorf("%w: client %d, aid %d", ErrAccess, client, r.AID)
+		}
+	}
+	return nil
+}
+
+// Read returns n bytes at off within fragment fid, enforcing ACLs for the
+// requesting client.
+func (s *Store) Read(client wire.ClientID, fid wire.FID, off, n uint32) ([]byte, error) {
+	s.mu.RLock()
+	slot, ok := s.bySID[fid]
+	if !ok || s.slots[slot].prealloc() {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, fid)
+	}
+	ent := s.slots[slot]
+	if off+n > ent.size || off+n < off {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, off, off+n, ent.size)
+	}
+	if err := s.checkAccess(&ent, client, off, n); err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
+	dataOff := s.slotOff(slot) + int64(off)
+	s.mu.RUnlock()
+
+	buf := make([]byte, n)
+	if err := s.d.ReadAt(buf, dataOff); err != nil {
+		return nil, fmt.Errorf("read fragment data: %w", err)
+	}
+	return buf, nil
+}
+
+// Delete removes a fragment and frees its slot. Deleting requires write
+// access to every protected range of the fragment.
+func (s *Store) Delete(client wire.ClientID, fid wire.FID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.bySID[fid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, fid)
+	}
+	ent := s.slots[slot]
+	if err := s.checkAccess(&ent, client, 0, ent.size); err != nil {
+		return err
+	}
+	if err := s.writeEntry(slot, slotEntry{}); err != nil {
+		return err
+	}
+	delete(s.bySID, fid)
+	s.free = append(s.free, slot)
+	return nil
+}
+
+// Prealloc reserves a slot for fid without storing data, guaranteeing a
+// later Store cannot fail for lack of space.
+func (s *Store) Prealloc(fid wire.FID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bySID[fid]; ok {
+		return fmt.Errorf("%w: %v", ErrExists, fid)
+	}
+	if len(s.free) == 0 {
+		return ErrNoSpace
+	}
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	ent := slotEntry{fid: fid, flags: flagUsed | flagPrealloc}
+	if err := s.writeEntry(slot, ent); err != nil {
+		s.free = append(s.free, slot)
+		return err
+	}
+	s.bySID[fid] = slot
+	return nil
+}
+
+// LastMarked returns the marked fragment with the highest sequence number
+// owned by client, per §2.3.1: clients find their checkpoints by storing
+// them in marked fragments and querying for the newest.
+func (s *Store) LastMarked(client wire.ClientID) (wire.FID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best wire.FID
+	found := false
+	for fid, slot := range s.bySID {
+		ent := &s.slots[slot]
+		if !ent.marked() || ent.prealloc() || fid.Client() != client {
+			continue
+		}
+		if !found || fid.Seq() > best.Seq() {
+			best, found = fid, true
+		}
+	}
+	return best, found
+}
+
+// Has reports whether fid is stored (preallocated slots don't count) and
+// its size.
+func (s *Store) Has(fid wire.FID) (uint32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot, ok := s.bySID[fid]
+	if !ok || s.slots[slot].prealloc() {
+		return 0, false
+	}
+	return s.slots[slot].size, true
+}
+
+// List returns all stored FIDs for client (client 0 lists everything),
+// sorted ascending.
+func (s *Store) List(client wire.ClientID) []wire.FID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]wire.FID, 0, len(s.bySID))
+	for fid, slot := range s.bySID {
+		if s.slots[slot].prealloc() {
+			continue
+		}
+		if client != 0 && fid.Client() != client {
+			continue
+		}
+		out = append(out, fid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats describes store occupancy.
+type Stats struct {
+	FragmentSize int
+	TotalSlots   int
+	FreeSlots    int
+	Fragments    int
+}
+
+// Stats returns current occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		FragmentSize: s.fragSize,
+		TotalSlots:   s.numSlots,
+		FreeSlots:    len(s.free),
+		Fragments:    len(s.bySID),
+	}
+}

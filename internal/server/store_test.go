@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"swarm/internal/disk"
+	"swarm/internal/wire"
+)
+
+func newTestStore(t *testing.T, slots int) (*Store, *disk.MemDisk) {
+	t.Helper()
+	fragSize := 4096
+	d := disk.NewMemDisk(int64(superblockSize + aclRegionSize + slots*(fragSize+entrySize) + fragSize))
+	s, err := Format(d, Config{FragmentSize: fragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestStoreReadRoundTrip(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	fid := wire.MakeFID(1, 0)
+	data := bytes.Repeat([]byte{0xAA}, 1000)
+	if err := s.Store(fid, data, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(1, fid, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data mismatch")
+	}
+	// Partial read.
+	got, err = s.Read(1, fid, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[100:150]) {
+		t.Fatal("partial read mismatch")
+	}
+}
+
+func TestStoreDuplicateRejected(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	fid := wire.MakeFID(1, 0)
+	if err := s.Store(fid, []byte("a"), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(fid, []byte("b"), false, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate store: %v", err)
+	}
+}
+
+func TestStoreTooLarge(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	if err := s.Store(wire.MakeFID(1, 0), make([]byte, 5000), false, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized store: %v", err)
+	}
+}
+
+func TestStoreNoSpace(t *testing.T) {
+	s, _ := newTestStore(t, 2)
+	total := s.Stats().TotalSlots
+	for i := 0; i < total; i++ {
+		if err := s.Store(wire.MakeFID(1, uint64(i)), []byte("x"), false, nil); err != nil {
+			t.Fatalf("store %d of %d: %v", i, total, err)
+		}
+	}
+	if err := s.Store(wire.MakeFID(1, 99), []byte("x"), false, nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("store into full server: %v", err)
+	}
+	// Deleting frees a slot.
+	if err := s.Delete(1, wire.MakeFID(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(wire.MakeFID(1, 99), []byte("x"), false, nil); err != nil {
+		t.Fatalf("store after delete: %v", err)
+	}
+}
+
+func TestReadAbsentFragment(t *testing.T) {
+	s, _ := newTestStore(t, 4)
+	if _, err := s.Read(1, wire.MakeFID(1, 0), 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read absent: %v", err)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	s, _ := newTestStore(t, 4)
+	fid := wire.MakeFID(1, 0)
+	if err := s.Store(fid, make([]byte, 100), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(1, fid, 50, 51); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	s, _ := newTestStore(t, 4)
+	if err := s.Delete(1, wire.MakeFID(1, 0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+func TestPreallocThenStore(t *testing.T) {
+	s, _ := newTestStore(t, 2)
+	fid := wire.MakeFID(1, 0)
+	if err := s.Prealloc(fid); err != nil {
+		t.Fatal(err)
+	}
+	// Preallocated fragments are invisible to reads and Has.
+	if _, found := s.Has(fid); found {
+		t.Fatal("preallocated fragment visible")
+	}
+	if _, err := s.Read(1, fid, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read preallocated: %v", err)
+	}
+	if err := s.Store(fid, []byte("data"), false, nil); err != nil {
+		t.Fatalf("store into prealloc: %v", err)
+	}
+	if size, found := s.Has(fid); !found || size != 4 {
+		t.Fatalf("Has = (%d,%v)", size, found)
+	}
+	// Double prealloc fails.
+	if err := s.Prealloc(fid); !errors.Is(err, ErrExists) {
+		t.Fatalf("double prealloc: %v", err)
+	}
+}
+
+func TestPreallocReservesSpace(t *testing.T) {
+	s, _ := newTestStore(t, 2)
+	total := s.Stats().TotalSlots
+	for i := 0; i < total; i++ {
+		if err := s.Prealloc(wire.MakeFID(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Store(wire.MakeFID(2, 0), []byte("x"), false, nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("store into fully preallocated server: %v", err)
+	}
+	// But the preallocated FIDs can still be stored.
+	if err := s.Store(wire.MakeFID(1, 0), []byte("x"), false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastMarked(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	if _, found := s.LastMarked(1); found {
+		t.Fatal("LastMarked on empty store")
+	}
+	must := func(fid wire.FID, mark bool) {
+		t.Helper()
+		if err := s.Store(fid, []byte("x"), mark, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(wire.MakeFID(1, 0), true)
+	must(wire.MakeFID(1, 1), false)
+	must(wire.MakeFID(1, 2), true)
+	must(wire.MakeFID(1, 3), false)
+	must(wire.MakeFID(2, 9), true) // other client
+	fid, found := s.LastMarked(1)
+	if !found || fid != wire.MakeFID(1, 2) {
+		t.Fatalf("LastMarked = (%v,%v), want 1/2", fid, found)
+	}
+	fid, found = s.LastMarked(2)
+	if !found || fid != wire.MakeFID(2, 9) {
+		t.Fatalf("LastMarked(2) = (%v,%v)", fid, found)
+	}
+}
+
+func TestListFIDs(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	fids := []wire.FID{wire.MakeFID(1, 2), wire.MakeFID(1, 0), wire.MakeFID(2, 1)}
+	for _, f := range fids {
+		if err := s.Store(f, []byte("x"), false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List(1)
+	if len(got) != 2 || got[0] != wire.MakeFID(1, 0) || got[1] != wire.MakeFID(1, 2) {
+		t.Fatalf("List(1) = %v", got)
+	}
+	if all := s.List(0); len(all) != 3 {
+		t.Fatalf("List(0) = %v", all)
+	}
+}
+
+func TestStoreReopenRecoversState(t *testing.T) {
+	s, d := newTestStore(t, 8)
+	fidA := wire.MakeFID(1, 0)
+	fidB := wire.MakeFID(1, 1)
+	if err := s.Store(fidA, []byte("aaa"), true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(fidB, []byte("bbb"), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(1, fidB); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s2.Read(1, fidA, 0, 3)
+	if err != nil || string(data) != "aaa" {
+		t.Fatalf("reopened read = %q, %v", data, err)
+	}
+	if _, found := s2.Has(fidB); found {
+		t.Fatal("deleted fragment resurrected")
+	}
+	if fid, found := s2.LastMarked(1); !found || fid != fidA {
+		t.Fatalf("reopened LastMarked = (%v,%v)", fid, found)
+	}
+	if s2.Stats().Fragments != 1 {
+		t.Fatalf("reopened fragments = %d", s2.Stats().Fragments)
+	}
+}
+
+// TestStoreAtomicityUnderCrash simulates a crash between the data write
+// and the slot-entry commit: the fragment must not exist after recovery.
+func TestStoreAtomicityUnderCrash(t *testing.T) {
+	s, d := newTestStore(t, 8)
+	fid := wire.MakeFID(1, 0)
+	// Snapshot before any store, then store and snapshot after the data
+	// write but *before* the entry commit by replaying the write pattern:
+	// easiest honest simulation is snapshot-before-commit via FailWrites
+	// on the entry region. Instead we capture the pre-store snapshot,
+	// store fully, then restore only the entry table from the pre-store
+	// snapshot — exactly the disk state of a crash after the data sync.
+	pre := d.Snapshot()
+	if err := s.Store(fid, []byte("half-written"), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	post := d.Snapshot()
+	crash := make([]byte, len(post))
+	copy(crash, post)
+	// Entry table occupies [entryTableOff, slotsOff): restore it to the
+	// pre-store image, keeping the fragment data bytes in place.
+	copy(crash[entryTableOff:s.slotsOff], pre[entryTableOff:s.slotsOff])
+	d.Restore(crash)
+
+	s2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := s2.Has(fid); found {
+		t.Fatal("fragment visible after simulated torn store")
+	}
+	if s2.Stats().FreeSlots != s2.Stats().TotalSlots {
+		t.Fatalf("slot leaked: %+v", s2.Stats())
+	}
+}
+
+// TestOpenToleratesTornEntry writes garbage into a slot entry and checks
+// that Open treats it as free rather than failing.
+func TestOpenToleratesTornEntry(t *testing.T) {
+	s, d := newTestStore(t, 4)
+	if err := s.Store(wire.MakeFID(1, 0), []byte("ok"), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt slot entry 1 with a valid magic but bad CRC.
+	garbage := make([]byte, entrySize)
+	copy(garbage, s.slots[0].encode()[:8])
+	garbage[20] = 0xFF
+	if err := d.WriteAt(garbage, entryTableOff+entrySize); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().Fragments != 1 {
+		t.Fatalf("fragments = %d, want 1", s2.Stats().Fragments)
+	}
+}
+
+func TestFormatTooSmallDisk(t *testing.T) {
+	d := disk.NewMemDisk(1024)
+	if _, err := Format(d, Config{FragmentSize: 1 << 20}); err == nil {
+		t.Fatal("format of tiny disk succeeded")
+	}
+}
+
+func TestOpenRejectsUnformattedDisk(t *testing.T) {
+	d := disk.NewMemDisk(1 << 20)
+	if _, err := Open(d); !errors.Is(err, ErrCorruptMeta) {
+		t.Fatalf("open unformatted: %v", err)
+	}
+}
+
+func TestStoreWriteFailureLeavesSlotFree(t *testing.T) {
+	s, d := newTestStore(t, 4)
+	boom := errors.New("boom")
+	d.FailWrites(boom)
+	if err := s.Store(wire.MakeFID(1, 0), []byte("x"), false, nil); !errors.Is(err, boom) {
+		t.Fatalf("store with failing disk: %v", err)
+	}
+	d.FailWrites(nil)
+	st := s.Stats()
+	if st.FreeSlots != st.TotalSlots {
+		t.Fatalf("slot leaked after failed store: %+v", st)
+	}
+	if err := s.Store(wire.MakeFID(1, 0), []byte("x"), false, nil); err != nil {
+		t.Fatalf("store after failure cleared: %v", err)
+	}
+}
+
+func TestSlotEntryRoundTrip(t *testing.T) {
+	ent := slotEntry{
+		fid:   wire.MakeFID(5, 123),
+		size:  4096,
+		flags: flagUsed | flagMarked,
+		ranges: []wire.ACLRange{
+			{Off: 0, Len: 100, AID: 1},
+			{Off: 100, Len: 200, AID: 2},
+		},
+	}
+	got, err := decodeSlotEntry(ent.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.fid != ent.fid || got.size != ent.size || got.flags != ent.flags {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if len(got.ranges) != 2 || got.ranges[1] != ent.ranges[1] {
+		t.Fatalf("ranges = %v", got.ranges)
+	}
+}
+
+// Property: slot entries roundtrip for arbitrary field values.
+func TestQuickSlotEntryRoundTrip(t *testing.T) {
+	f := func(fid uint64, size uint32, marked bool, nRanges uint8) bool {
+		flags := uint16(flagUsed)
+		if marked {
+			flags |= flagMarked
+		}
+		ent := slotEntry{fid: wire.FID(fid), size: size, flags: flags}
+		for i := uint8(0); i < nRanges%maxACLRanges; i++ {
+			ent.ranges = append(ent.ranges, wire.ACLRange{Off: uint32(i), Len: uint32(i) * 2, AID: wire.AID(i)})
+		}
+		got, err := decodeSlotEntry(ent.encode())
+		if err != nil {
+			return false
+		}
+		if got.fid != ent.fid || got.size != ent.size || got.flags != ent.flags || len(got.ranges) != len(ent.ranges) {
+			return false
+		}
+		for i := range got.ranges {
+			if got.ranges[i] != ent.ranges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

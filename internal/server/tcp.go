@@ -1,0 +1,128 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"swarm/internal/wire"
+)
+
+// TCPServer serves the wire protocol over TCP, one goroutine per
+// connection. Responses to one connection are serialized; requests from
+// different connections proceed concurrently against the store.
+type TCPServer struct {
+	store *Store
+	ln    net.Listener
+	log   *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ListenAndServe starts a TCP server for store on addr ("host:port";
+// ":0" picks a free port). The returned server is already accepting.
+func ListenAndServe(store *Store, addr string, logger *log.Logger) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &TCPServer{
+		store: store,
+		ln:    ln,
+		log:   logger,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Store returns the underlying fragment store.
+func (s *TCPServer) Store() *Store { return s.store }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := wire.NewConnReader(conn)
+	w := wire.NewConnWriter(conn)
+	for {
+		req, err := wire.ReadRequestFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.log.Printf("read request: %v", err)
+			}
+			return
+		}
+		status, msg := s.store.Handle(req.Client, req.Op, req.Body)
+		var werr error
+		if status == wire.StatusOK {
+			werr = wire.WriteResponse(w, req.Op, req.ID, msg)
+		} else {
+			werr = wire.WriteErrorResponse(w, req.Op, req.ID, status, ErrText(msg))
+		}
+		if werr == nil {
+			werr = w.Flush()
+		}
+		if werr != nil {
+			s.log.Printf("write response: %v", werr)
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for the
+// connection handlers to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"swarm/internal/disk"
+	"swarm/internal/wire"
+)
+
+func newTCP(t *testing.T) *TCPServer {
+	t.Helper()
+	d := disk.NewMemDisk(4 << 20)
+	st, err := Format(d, Config{FragmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServe(st, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func rpc(t *testing.T, conn net.Conn, op wire.Op, id uint64, msg wire.Message) *wire.Response {
+	t.Helper()
+	if err := wire.WriteRequest(conn, op, id, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := wire.ReadResponseFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rsp
+}
+
+func TestTCPServerBasicRPC(t *testing.T) {
+	srv := newTCP(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rsp := rpc(t, conn, wire.OpPing, 1, &wire.PingRequest{})
+	if rsp.Status != wire.StatusOK || rsp.ID != 1 {
+		t.Fatalf("ping rsp = %+v", rsp)
+	}
+	rsp = rpc(t, conn, wire.OpStore, 2, &wire.StoreRequest{FID: wire.MakeFID(1, 0), Data: []byte("hello")})
+	if rsp.Status != wire.StatusOK {
+		t.Fatalf("store rsp = %+v", rsp)
+	}
+	rsp = rpc(t, conn, wire.OpRead, 3, &wire.ReadRequest{FID: wire.MakeFID(1, 0), Off: 0, Len: 5})
+	if rsp.Status != wire.StatusOK {
+		t.Fatalf("read rsp = %+v", rsp)
+	}
+	var rr wire.ReadResponse
+	if err := rr.Decode(wire.NewDecoder(rsp.Body)); err != nil || !bytes.Equal(rr.Data, []byte("hello")) {
+		t.Fatalf("read data = (%q,%v)", rr.Data, err)
+	}
+}
+
+func TestTCPServerSurvivesGarbageConnection(t *testing.T) {
+	srv := newTCP(t)
+	// Throw garbage at the server: it must drop the connection and keep
+	// serving others.
+	g, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(bytes.Repeat([]byte{0xDE, 0xAD}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// The server should close the garbage connection.
+	g.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := g.Read(buf); err == nil {
+		t.Fatal("server kept a garbage connection open with data")
+	}
+	g.Close()
+
+	// Healthy clients still work.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rsp := rpc(t, conn, wire.OpPing, 1, &wire.PingRequest{})
+	if rsp.Status != wire.StatusOK {
+		t.Fatalf("ping after garbage = %+v", rsp)
+	}
+}
+
+func TestTCPServerMalformedBodyReturnsError(t *testing.T) {
+	srv := newTCP(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Valid frame, garbage body for OpStore.
+	if err := wire.WriteRequest(conn, wire.OpStore, 9, 1, &wire.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := wire.ReadResponseFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.Status != wire.StatusBadRequest {
+		t.Fatalf("malformed store rsp = %+v", rsp)
+	}
+	// The connection stays usable.
+	rsp = rpc(t, conn, wire.OpPing, 10, &wire.PingRequest{})
+	if rsp.Status != wire.StatusOK {
+		t.Fatalf("ping after bad request = %+v", rsp)
+	}
+}
+
+func TestTCPServerUnknownOp(t *testing.T) {
+	srv := newTCP(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rsp := rpc(t, conn, wire.Op(200), 1, &wire.PingRequest{})
+	if rsp.Status != wire.StatusBadRequest {
+		t.Fatalf("unknown op rsp = %+v", rsp)
+	}
+}
+
+func TestTCPServerManyConnections(t *testing.T) {
+	srv := newTCP(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < 10; j++ {
+				if err := wire.WriteRequest(conn, wire.OpPing, uint64(j), wire.ClientID(i), &wire.PingRequest{}); err != nil {
+					errs <- err
+					return
+				}
+				rsp, err := wire.ReadResponseFrame(conn)
+				if err != nil || rsp.Status != wire.StatusOK || rsp.ID != uint64(j) {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerCloseIsIdempotentAndUnblocks(t *testing.T) {
+	srv := newTCP(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// The accepted connection was closed by the server.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after server close")
+	}
+	if srv.Store() == nil {
+		t.Fatal("store accessor nil")
+	}
+}

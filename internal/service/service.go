@@ -1,0 +1,174 @@
+// Package service provides the stacking framework for Swarm services
+// (§2.2 of the paper). A service extends or hides the functionality of
+// the layers below it: the cleaner, atomic recovery units, logical disks,
+// caches, and file systems are all services. Services interact with the
+// log through this package, which routes replayed records to the right
+// service after a crash and propagates cleaner notifications and
+// checkpoint demands.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swarm/internal/core"
+)
+
+// Service errors.
+var (
+	// ErrDuplicateID is returned when two services claim the same ID.
+	ErrDuplicateID = errors.New("service: duplicate service id")
+	// ErrUnknownService is returned when routing to an unregistered ID.
+	ErrUnknownService = errors.New("service: unknown service id")
+)
+
+// Service is implemented by everything stacked on the log.
+type Service interface {
+	// ID returns the service's stable identifier. IDs persist across
+	// restarts (they appear in the log), so they must be fixed per
+	// service type, not allocated dynamically.
+	ID() core.ServiceID
+
+	// Replay delivers one record during crash recovery, in log order.
+	// Create and Delete records are the log layer's automatic records
+	// for the service's blocks; Record entries are the service's own.
+	Replay(rec core.ReplayEntry) error
+
+	// RestoreCheckpoint delivers the service's newest checkpoint payload
+	// before any Replay calls. Services that never checkpointed get a
+	// nil payload.
+	RestoreCheckpoint(payload []byte) error
+
+	// BlockMoved tells the service the cleaner relocated one of its
+	// blocks. The creation record's hint accompanies the move so the
+	// service can find its metadata (§2.1.4).
+	BlockMoved(old, new core.BlockAddr, length uint32, hint []byte) error
+
+	// BlockLive reports whether the block at addr is still part of the
+	// service's live data. The cleaner asks before copying a block out
+	// of a stripe; answering true for a dead block wastes log space but
+	// is safe, answering false for a live block loses data.
+	BlockLive(addr core.BlockAddr, hint []byte) bool
+
+	// CheckpointDemand asks the service to write a checkpoint soon; the
+	// cleaner issues it when reclaimable space is pinned by the
+	// service's old records. Ignoring the demand is legal but risky:
+	// the cleaner may eventually reclaim the records anyway ("it does
+	// so at its own peril", §2.1.4).
+	CheckpointDemand() error
+}
+
+// Registry routes log-layer events to registered services.
+type Registry struct {
+	log *core.Log
+
+	mu       sync.Mutex
+	services map[core.ServiceID]Service
+}
+
+// NewRegistry returns a registry bound to a log.
+func NewRegistry(log *core.Log) *Registry {
+	return &Registry{log: log, services: make(map[core.ServiceID]Service)}
+}
+
+// Log returns the underlying log.
+func (r *Registry) Log() *core.Log { return r.log }
+
+// Register adds a service and replays its recovered state: first the
+// checkpoint, then every post-checkpoint record in log order.
+func (r *Registry) Register(svc Service, recovered *core.RecoveredService) error {
+	r.mu.Lock()
+	if _, dup := r.services[svc.ID()]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDuplicateID, svc.ID())
+	}
+	r.services[svc.ID()] = svc
+	r.mu.Unlock()
+	r.log.RegisterService(svc.ID())
+
+	if recovered == nil {
+		recovered = &core.RecoveredService{}
+	}
+	if recovered.HasCheckpoint {
+		if err := svc.RestoreCheckpoint(recovered.Checkpoint); err != nil {
+			return fmt.Errorf("restore checkpoint for service %d: %w", svc.ID(), err)
+		}
+	} else {
+		if err := svc.RestoreCheckpoint(nil); err != nil {
+			return fmt.Errorf("init service %d: %w", svc.ID(), err)
+		}
+	}
+	for _, rec := range recovered.Records {
+		if err := svc.Replay(rec); err != nil {
+			return fmt.Errorf("replay record %v to service %d: %w", rec.Pos, svc.ID(), err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the service registered under id.
+func (r *Registry) Lookup(id core.ServiceID) (Service, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svc, ok := r.services[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownService, id)
+	}
+	return svc, nil
+}
+
+// Services returns the registered services (unspecified order).
+func (r *Registry) Services() []Service {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Service, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	return out
+}
+
+// NotifyBlockMoved routes a cleaner move notification to the block's
+// owning service.
+func (r *Registry) NotifyBlockMoved(owner core.ServiceID, old, new core.BlockAddr, length uint32, hint []byte) error {
+	svc, err := r.Lookup(owner)
+	if err != nil {
+		return err
+	}
+	return svc.BlockMoved(old, new, length, hint)
+}
+
+// DemandCheckpoints asks every registered service whose last checkpoint
+// is older than floor to checkpoint now. It returns the first error.
+func (r *Registry) DemandCheckpoints(floor core.Pos) error {
+	var firstErr error
+	for _, svc := range r.Services() {
+		addr, ok := r.log.Checkpoint(svc.ID())
+		if ok && !core.PosOf(addr).Less(floor) {
+			continue // already recent enough
+		}
+		if err := svc.CheckpointDemand(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint demand to service %d: %w", svc.ID(), err)
+		}
+	}
+	return firstErr
+}
+
+// Base is a convenience embedding for services that want default no-op
+// behaviour for the optional methods. It intentionally does NOT provide
+// ID or Replay: every real service must implement those.
+type Base struct{}
+
+// RestoreCheckpoint implements Service with a no-op.
+func (Base) RestoreCheckpoint([]byte) error { return nil }
+
+// BlockMoved implements Service with a no-op.
+func (Base) BlockMoved(_, _ core.BlockAddr, _ uint32, _ []byte) error { return nil }
+
+// BlockLive implements Service conservatively: unknown blocks are treated
+// as live, which is always safe.
+func (Base) BlockLive(core.BlockAddr, []byte) bool { return true }
+
+// CheckpointDemand implements Service with a no-op.
+func (Base) CheckpointDemand() error { return nil }

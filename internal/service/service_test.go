@@ -1,0 +1,212 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"swarm/internal/core"
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// fakeService records every callback for assertions.
+type fakeService struct {
+	Base
+	id         core.ServiceID
+	checkpoint []byte
+	restored   bool
+	replayed   []core.ReplayEntry
+	moves      []string
+	demands    int
+	replayErr  error
+}
+
+func (f *fakeService) ID() core.ServiceID { return f.id }
+
+func (f *fakeService) Replay(rec core.ReplayEntry) error {
+	if f.replayErr != nil {
+		return f.replayErr
+	}
+	if !f.restored {
+		return errors.New("replay before checkpoint restore")
+	}
+	f.replayed = append(f.replayed, rec)
+	return nil
+}
+
+func (f *fakeService) RestoreCheckpoint(payload []byte) error {
+	f.restored = true
+	f.checkpoint = payload
+	return nil
+}
+
+func (f *fakeService) BlockMoved(old, newAddr core.BlockAddr, length uint32, hint []byte) error {
+	f.moves = append(f.moves, old.String()+"->"+newAddr.String())
+	return nil
+}
+
+func (f *fakeService) CheckpointDemand() error {
+	f.demands++
+	return nil
+}
+
+func newTestLog(t *testing.T) *core.Log {
+	t.Helper()
+	d := disk.NewMemDisk(4 << 20)
+	st, err := server.Format(d, server.Config{FragmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := core.Open(core.Config{
+		Client:       1,
+		Servers:      []transport.ServerConn{transport.NewLocal(1, st, 1)},
+		FragmentSize: 4096,
+		Width:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestRegisterReplaysCheckpointThenRecords(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	svc := &fakeService{id: 7}
+	recovered := &core.RecoveredService{
+		Checkpoint:    []byte("state"),
+		HasCheckpoint: true,
+		Records: []core.ReplayEntry{
+			{Kind: core.EntryRecord, Svc: 7, Payload: []byte("r1")},
+			{Kind: core.EntryRecord, Svc: 7, Payload: []byte("r2")},
+		},
+	}
+	if err := reg.Register(svc, recovered); err != nil {
+		t.Fatal(err)
+	}
+	if string(svc.checkpoint) != "state" {
+		t.Fatalf("checkpoint = %q", svc.checkpoint)
+	}
+	if len(svc.replayed) != 2 || string(svc.replayed[0].Payload) != "r1" || string(svc.replayed[1].Payload) != "r2" {
+		t.Fatalf("replayed = %v", svc.replayed)
+	}
+}
+
+func TestRegisterNilRecovered(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	svc := &fakeService{id: 7}
+	if err := reg.Register(svc, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.restored || svc.checkpoint != nil {
+		t.Fatalf("restore = (%v,%v)", svc.restored, svc.checkpoint)
+	}
+}
+
+func TestRegisterDuplicateID(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	if err := reg.Register(&fakeService{id: 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(&fakeService{id: 7}, nil); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+}
+
+func TestRegisterReplayErrorPropagates(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	boom := errors.New("boom")
+	svc := &fakeService{id: 7, replayErr: boom}
+	recovered := &core.RecoveredService{
+		Records: []core.ReplayEntry{{Kind: core.EntryRecord, Svc: 7}},
+	}
+	if err := reg.Register(svc, recovered); !errors.Is(err, boom) {
+		t.Fatalf("replay error: %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	svc := &fakeService{id: 9}
+	if err := reg.Register(svc, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Lookup(9)
+	if err != nil || got != Service(svc) {
+		t.Fatalf("lookup = (%v,%v)", got, err)
+	}
+	if _, err := reg.Lookup(1); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("lookup unknown: %v", err)
+	}
+	if n := len(reg.Services()); n != 1 {
+		t.Fatalf("services = %d", n)
+	}
+}
+
+func TestNotifyBlockMoved(t *testing.T) {
+	reg := NewRegistry(newTestLog(t))
+	svc := &fakeService{id: 5}
+	if err := reg.Register(svc, nil); err != nil {
+		t.Fatal(err)
+	}
+	old := core.BlockAddr{FID: wire.MakeFID(1, 0), Off: 1}
+	newAddr := core.BlockAddr{FID: wire.MakeFID(1, 9), Off: 2}
+	if err := reg.NotifyBlockMoved(5, old, newAddr, 128, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.moves) != 1 {
+		t.Fatalf("moves = %v", svc.moves)
+	}
+	if err := reg.NotifyBlockMoved(99, old, newAddr, 128, nil); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("move to unknown: %v", err)
+	}
+}
+
+func TestDemandCheckpoints(t *testing.T) {
+	l := newTestLog(t)
+	reg := NewRegistry(l)
+	stale := &fakeService{id: 2}
+	fresh := &fakeService{id: 3}
+	if err := reg.Register(stale, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	// fresh checkpoints now; stale never does.
+	if _, err := l.WriteCheckpoint(3, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	floor := l.NextPos()
+	// Give fresh a checkpoint at/after demand floor: re-checkpoint.
+	if _, err := l.WriteCheckpoint(3, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.DemandCheckpoints(floor); err != nil {
+		t.Fatal(err)
+	}
+	if stale.demands != 1 {
+		t.Fatalf("stale demands = %d", stale.demands)
+	}
+	if fresh.demands != 0 {
+		t.Fatalf("fresh demands = %d", fresh.demands)
+	}
+}
+
+func TestBaseDefaults(t *testing.T) {
+	var b Base
+	if err := b.RestoreCheckpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BlockMoved(core.BlockAddr{}, core.BlockAddr{}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckpointDemand(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.BlockLive(core.BlockAddr{}, nil) {
+		t.Fatal("Base.BlockLive must default to live")
+	}
+}

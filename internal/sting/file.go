@@ -1,0 +1,271 @@
+package sting
+
+import (
+	"fmt"
+
+	"swarm/internal/vfs"
+)
+
+// File is an open Sting file handle.
+type File struct {
+	fs     *FS
+	ino    uint64
+	closed bool
+}
+
+var _ vfs.File = (*File)(nil)
+
+func (f *File) inode() (*inode, error) {
+	if f.closed {
+		return nil, vfs.ErrClosed
+	}
+	if f.fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	return f.fs.loadInode(f.ino)
+}
+
+// ReadAt implements vfs.File.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if off >= in.size {
+		return 0, nil
+	}
+	n := len(p)
+	if int64(n) > in.size-off {
+		n = int(in.size - off)
+	}
+	bs := int64(fs.blockSize)
+	read := 0
+	for read < n {
+		idx := uint32((off + int64(read)) / bs)
+		blockOff := int((off + int64(read)) % bs)
+		chunk := fs.blockSize - blockOff
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if err := fs.readBlockInto(in, idx, blockOff, p[read:read+chunk]); err != nil {
+			return read, err
+		}
+		read += chunk
+	}
+	fs.stats.BytesRead += int64(read)
+	return read, nil
+}
+
+// readBlockInto fills dst from block idx starting at blockOff, treating
+// holes and short blocks as zeros. Caller holds fs.mu.
+func (fs *FS) readBlockInto(in *inode, idx uint32, blockOff int, dst []byte) error {
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Dirty page wins.
+	if page, ok := fs.pages[pageKey{ino: in.ino, idx: idx}]; ok {
+		copy(dst, page[blockOff:])
+		return nil
+	}
+	if int(idx) >= len(in.blocks) {
+		return nil // hole past last block
+	}
+	b := in.blocks[idx]
+	if b.isHole() {
+		return nil
+	}
+	if blockOff >= int(b.len) {
+		return nil // reading the zero tail of a short block
+	}
+	want := len(dst)
+	if want > int(b.len)-blockOff {
+		want = int(b.len) - blockOff
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if fs.cache != nil {
+		data, err = fs.cache.ReadBlock(b.addr, b.len, uint32(blockOff), uint32(want))
+	} else {
+		data, err = fs.log.Read(b.addr, uint32(blockOff), uint32(want))
+	}
+	if err != nil {
+		return fmt.Errorf("read block %d of inode %d: %w", idx, in.ino, err)
+	}
+	copy(dst, data)
+	return nil
+}
+
+// WriteAt implements vfs.File: data lands in the write-back page cache
+// and is shipped to the log at the next flush.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	in, err := f.inode()
+	if err != nil {
+		fs.mu.Unlock()
+		return 0, err
+	}
+	if off < 0 {
+		fs.mu.Unlock()
+		return 0, vfs.ErrInvalid
+	}
+	bs := int64(fs.blockSize)
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		idx := uint32(pos / bs)
+		blockOff := int(pos % bs)
+		chunk := fs.blockSize - blockOff
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		page, err := fs.dirtyPage(in, idx)
+		if err != nil {
+			fs.mu.Unlock()
+			return written, err
+		}
+		copy(page[blockOff:], p[written:written+chunk])
+		written += chunk
+	}
+	if off+int64(written) > in.size {
+		in.size = off + int64(written)
+	}
+	fs.ensureBlocks(in)
+	fs.markDirty(in)
+	fs.stats.BytesWritten += int64(written)
+	needFlush := fs.dirtyBytes >= fs.dirtyMax
+	var flushErr error
+	if needFlush {
+		flushErr = fs.flushLocked()
+	}
+	fs.mu.Unlock()
+	if flushErr != nil {
+		return written, flushErr
+	}
+	return written, nil
+}
+
+// dirtyPage returns the (blockSize-long) dirty page for idx, creating it
+// from the stored block contents if necessary. Caller holds fs.mu.
+func (fs *FS) dirtyPage(in *inode, idx uint32) ([]byte, error) {
+	k := pageKey{ino: in.ino, idx: idx}
+	if page, ok := fs.pages[k]; ok {
+		return page, nil
+	}
+	page := make([]byte, fs.blockSize)
+	if int(idx) < len(in.blocks) {
+		b := in.blocks[idx]
+		if !b.isHole() {
+			data, err := fs.log.Read(b.addr, 0, b.len)
+			if err != nil {
+				return nil, fmt.Errorf("fault block %d of inode %d: %w", idx, in.ino, err)
+			}
+			copy(page, data)
+		}
+	}
+	fs.pages[k] = page
+	fs.dirtyBytes += int64(len(page))
+	return page, nil
+}
+
+// ensureBlocks extends the block table to cover the file size. Caller
+// holds fs.mu.
+func (fs *FS) ensureBlocks(in *inode) {
+	need := int((in.size + int64(fs.blockSize) - 1) / int64(fs.blockSize))
+	for len(in.blocks) < need {
+		in.blocks = append(in.blocks, blockPtr{})
+	}
+}
+
+// Size implements vfs.File.
+func (f *File) Size() (int64, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return 0, err
+	}
+	return in.size, nil
+}
+
+// Truncate implements vfs.File.
+func (f *File) Truncate(size int64) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := f.inode()
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
+	return fs.truncateLocked(in, size)
+}
+
+// truncateLocked sets in's size, freeing blocks beyond it and zeroing the
+// tail of the new last block so a later extension reads zeros.
+func (fs *FS) truncateLocked(in *inode, size int64) error {
+	bs := int64(fs.blockSize)
+	if size < in.size {
+		keep := int((size + bs - 1) / bs)
+		for idx := keep; idx < len(in.blocks); idx++ {
+			k := pageKey{ino: in.ino, idx: uint32(idx)}
+			if p, ok := fs.pages[k]; ok {
+				fs.dirtyBytes -= int64(len(p))
+				delete(fs.pages, k)
+			}
+			b := in.blocks[idx]
+			if !b.isHole() {
+				if err := fs.log.DeleteBlock(b.addr, b.len, fs.svcID); err != nil {
+					return err
+				}
+				if fs.cache != nil {
+					fs.cache.Invalidate(b.addr)
+				}
+			}
+		}
+		in.blocks = in.blocks[:keep]
+		// Zero the tail of the last partial block via a dirty page.
+		if tail := size % bs; tail != 0 && keep > 0 {
+			page, err := fs.dirtyPage(in, uint32(keep-1))
+			if err != nil {
+				return err
+			}
+			for i := tail; i < bs; i++ {
+				page[i] = 0
+			}
+		}
+	}
+	in.size = size
+	fs.ensureBlocks(in)
+	fs.markDirty(in)
+	return nil
+}
+
+// Sync implements vfs.File (flushes the whole file system: Sting is
+// single-client, so per-file granularity buys nothing).
+func (f *File) Sync() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return f.fs.Sync()
+}
+
+// Close implements vfs.File.
+func (f *File) Close() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,207 @@
+package sting
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/vfs"
+	"swarm/internal/wire"
+)
+
+// RootIno is the root directory's inode number.
+const RootIno uint64 = 1
+
+// blockPtr locates one file block in the log. A zero pointer is a hole.
+type blockPtr struct {
+	addr core.BlockAddr
+	len  uint32
+}
+
+func (p blockPtr) isHole() bool { return p.addr.IsZero() && p.len == 0 }
+
+// dirEnt is one directory entry. The child's mode is duplicated here so
+// ReadDir doesn't have to load every child inode.
+type dirEnt struct {
+	ino  uint64
+	mode vfs.FileMode
+}
+
+// inode is Sting's per-file metadata. Unlike Sprite LFS's fixed-size
+// inodes with indirect blocks, a Sting inode is a single variable-size
+// log block carrying the full block-pointer table (files) or the entry
+// table (directories) — log blocks aren't fixed-size, so the indirection
+// machinery of a disk file system buys nothing here. This is part of why
+// "Sting is smaller and simpler than Sprite LFS" (§3.1).
+type inode struct {
+	ino   uint64
+	mode  vfs.FileMode
+	size  int64
+	mtime time.Time
+	nlink uint32
+
+	blocks  []blockPtr        // files: index -> block
+	entries map[string]dirEnt // directories: name -> entry
+}
+
+func newFileInode(ino uint64, now time.Time) *inode {
+	return &inode{ino: ino, mode: vfs.ModeFile, mtime: now, nlink: 1}
+}
+
+func newDirInode(ino uint64, now time.Time) *inode {
+	return &inode{ino: ino, mode: vfs.ModeDir, mtime: now, nlink: 2, entries: make(map[string]dirEnt)}
+}
+
+func (in *inode) isDir() bool { return in.mode == vfs.ModeDir }
+
+// names returns the directory's entry names, sorted.
+func (in *inode) names() []string {
+	out := make([]string, 0, len(in.entries))
+	for name := range in.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encode serializes the inode for storage as a log block.
+func (in *inode) encode() []byte {
+	e := wire.NewEncoder(64 + len(in.blocks)*16 + len(in.entries)*24)
+	e.U8(uint8(in.mode))
+	e.U64(in.ino)
+	e.U64(uint64(in.size))
+	e.U64(uint64(in.mtime.UnixNano()))
+	e.U32(in.nlink)
+	if in.isDir() {
+		e.U32(uint32(len(in.entries)))
+		for _, name := range in.names() {
+			ent := in.entries[name]
+			e.String32(name)
+			e.U64(ent.ino)
+			e.U8(uint8(ent.mode))
+		}
+	} else {
+		e.U32(uint32(len(in.blocks)))
+		for _, b := range in.blocks {
+			e.U64(uint64(b.addr.FID))
+			e.U32(b.addr.Off)
+			e.U32(b.len)
+		}
+	}
+	return e.Bytes()
+}
+
+// decodeInode parses a serialized inode.
+func decodeInode(p []byte) (*inode, error) {
+	d := wire.NewDecoder(p)
+	in := &inode{
+		mode:  vfs.FileMode(d.U8()),
+		ino:   d.U64(),
+		size:  int64(d.U64()),
+		mtime: time.Unix(0, int64(d.U64())),
+		nlink: d.U32(),
+	}
+	n := d.U32()
+	if d.Err() == nil && n > 1<<24 {
+		return nil, fmt.Errorf("sting: inode with %d items", n)
+	}
+	if in.mode == vfs.ModeDir {
+		in.entries = make(map[string]dirEnt, n)
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			name := d.String32()
+			in.entries[name] = dirEnt{ino: d.U64(), mode: vfs.FileMode(d.U8())}
+		}
+	} else {
+		in.blocks = make([]blockPtr, 0, n)
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			in.blocks = append(in.blocks, blockPtr{
+				addr: core.BlockAddr{FID: wire.FID(d.U64()), Off: d.U32()},
+				len:  d.U32(),
+			})
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("sting: bad inode: %w", err)
+	}
+	return in, nil
+}
+
+// ----------------------------------------------------------------- hints
+//
+// Every block Sting appends carries a hint so the cleaner (and crash
+// replay) can find the owning metadata: "the creation record for a file
+// block might contain the inode number of the block's file, and its
+// position within the file" (§2.1.4) — which is exactly what kindData
+// hints hold.
+
+const (
+	hintInode = 1
+	hintData  = 2
+)
+
+func encodeInodeHint(ino uint64) []byte {
+	e := wire.NewEncoder(9)
+	e.U8(hintInode)
+	e.U64(ino)
+	return e.Bytes()
+}
+
+func encodeDataHint(ino uint64, idx uint32, size int64) []byte {
+	e := wire.NewEncoder(21)
+	e.U8(hintData)
+	e.U64(ino)
+	e.U32(idx)
+	e.U64(uint64(size))
+	return e.Bytes()
+}
+
+type hint struct {
+	kind uint8
+	ino  uint64
+	idx  uint32
+	size int64
+}
+
+func decodeHint(p []byte) (hint, error) {
+	d := wire.NewDecoder(p)
+	h := hint{kind: d.U8(), ino: d.U64()}
+	if h.kind == hintData {
+		h.idx = d.U32()
+		h.size = int64(d.U64())
+	}
+	if err := d.Err(); err != nil {
+		return hint{}, fmt.Errorf("sting: bad hint: %w", err)
+	}
+	if h.kind != hintInode && h.kind != hintData {
+		return hint{}, fmt.Errorf("sting: unknown hint kind %d", h.kind)
+	}
+	return h, nil
+}
+
+// ----------------------------------------------------- service records
+
+// Sting's only explicit service record: inode removal. Everything else a
+// crash must replay is carried by the log layer's automatic creation
+// records (new inode versions, new data blocks).
+const recUnlinkInode = 1
+
+func encodeUnlinkRecord(ino uint64) []byte {
+	e := wire.NewEncoder(9)
+	e.U8(recUnlinkInode)
+	e.U64(ino)
+	return e.Bytes()
+}
+
+func decodeUnlinkRecord(p []byte) (uint64, error) {
+	d := wire.NewDecoder(p)
+	kind := d.U8()
+	ino := d.U64()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("sting: bad record: %w", err)
+	}
+	if kind != recUnlinkInode {
+		return 0, fmt.Errorf("sting: unknown record kind %d", kind)
+	}
+	return ino, nil
+}

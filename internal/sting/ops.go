@@ -1,0 +1,279 @@
+package sting
+
+import (
+	"fmt"
+
+	"swarm/internal/vfs"
+)
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if ent, ok := dir.entries[name]; ok {
+		in, err := fs.loadInode(ent.ino)
+		if err != nil {
+			return nil, err
+		}
+		if in.isDir() {
+			return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+		}
+		if err := fs.truncateLocked(in, 0); err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, ino: in.ino}, nil
+	}
+	ino := fs.allocIno()
+	in := newFileInode(ino, fs.now())
+	fs.inodes[ino] = in
+	fs.markDirty(in)
+	dir.entries[name] = dirEnt{ino: ino, mode: vfs.ModeFile}
+	fs.markDirty(dir)
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (fs *FS) Open(path string) (vfs.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	if in.isDir() {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+	}
+	return &File{fs: fs, ino: in.ino}, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := dir.entries[name]; ok {
+		return fmt.Errorf("%w: %s", vfs.ErrExist, path)
+	}
+	ino := fs.allocIno()
+	in := newDirInode(ino, fs.now())
+	fs.inodes[ino] = in
+	fs.markDirty(in)
+	dir.entries[name] = dirEnt{ino: ino, mode: vfs.ModeDir}
+	dir.nlink++
+	fs.markDirty(dir)
+	return nil
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ent, ok := dir.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, path)
+	}
+	child, err := fs.loadInode(ent.ino)
+	if err != nil {
+		return err
+	}
+	if !child.isDir() {
+		return fmt.Errorf("%w: %s", vfs.ErrNotDir, path)
+	}
+	if len(child.entries) != 0 {
+		return fmt.Errorf("%w: %s", vfs.ErrNotEmpty, path)
+	}
+	delete(dir.entries, name)
+	dir.nlink--
+	fs.markDirty(dir)
+	return fs.removeInodeLocked(child)
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ent, ok := dir.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, path)
+	}
+	child, err := fs.loadInode(ent.ino)
+	if err != nil {
+		return err
+	}
+	if child.isDir() {
+		return fmt.Errorf("%w: %s", vfs.ErrIsDir, path)
+	}
+	delete(dir.entries, name)
+	fs.markDirty(dir)
+	return fs.removeInodeLocked(child)
+}
+
+// removeInodeLocked frees an inode: its data blocks, its inode block, its
+// map entry, and an unlink record so replay removes it too.
+func (fs *FS) removeInodeLocked(in *inode) error {
+	// Drop dirty pages and delete stored blocks.
+	for idx := range in.blocks {
+		k := pageKey{ino: in.ino, idx: uint32(idx)}
+		if p, ok := fs.pages[k]; ok {
+			fs.dirtyBytes -= int64(len(p))
+			delete(fs.pages, k)
+		}
+		b := in.blocks[idx]
+		if !b.isHole() {
+			if err := fs.log.DeleteBlock(b.addr, b.len, fs.svcID); err != nil {
+				return err
+			}
+			if fs.cache != nil {
+				fs.cache.Invalidate(b.addr)
+			}
+		}
+	}
+	if ent, ok := fs.imap[in.ino]; ok {
+		if err := fs.log.DeleteBlock(ent.addr, ent.size, fs.svcID); err != nil {
+			return err
+		}
+		delete(fs.imap, in.ino)
+	}
+	delete(fs.inodes, in.ino)
+	delete(fs.dirtyIno, in.ino)
+	if _, err := fs.log.AppendRecord(fs.svcID, encodeUnlinkRecord(in.ino)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	oldDir, oldName, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	ent, ok := oldDir.entries[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, oldPath)
+	}
+	newDir, newName, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if existing, ok := newDir.entries[newName]; ok {
+		// Replacing: only file-over-file is allowed.
+		target, err := fs.loadInode(existing.ino)
+		if err != nil {
+			return err
+		}
+		src, err := fs.loadInode(ent.ino)
+		if err != nil {
+			return err
+		}
+		if target.isDir() || src.isDir() {
+			return fmt.Errorf("%w: %s", vfs.ErrExist, newPath)
+		}
+		if err := fs.removeInodeLocked(target); err != nil {
+			return err
+		}
+	}
+	delete(oldDir.entries, oldName)
+	newDir.entries[newName] = ent
+	if ent.mode == vfs.ModeDir && oldDir.ino != newDir.ino {
+		oldDir.nlink--
+		newDir.nlink++
+	}
+	fs.markDirty(oldDir)
+	fs.markDirty(newDir)
+	return nil
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return vfs.FileInfo{}, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return vfs.FileInfo{
+		Name:  name,
+		Ino:   in.ino,
+		Size:  in.size,
+		Mode:  in.mode,
+		Nlink: in.nlink,
+		MTime: in.mtime,
+	}, nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, vfs.ErrClosed
+	}
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	if !in.isDir() {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotDir, path)
+	}
+	out := make([]vfs.DirEntry, 0, len(in.entries))
+	for _, name := range in.names() {
+		ent := in.entries[name]
+		out = append(out, vfs.DirEntry{Name: name, Ino: ent.ino, Mode: ent.mode})
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package sting
+
+import (
+	"errors"
+	"fmt"
+
+	"swarm/internal/core"
+	"swarm/internal/vfs"
+	"swarm/internal/wire"
+)
+
+// ID implements service.Service.
+func (fs *FS) ID() core.ServiceID { return fs.svcID }
+
+// RestoreCheckpoint implements service.Service: load the inode map and
+// allocator from Sting's newest checkpoint.
+func (fs *FS) RestoreCheckpoint(payload []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if payload == nil {
+		return nil
+	}
+	d := wire.NewDecoder(payload)
+	fs.nextIno = d.U64()
+	n := d.U32()
+	fs.imap = make(map[uint64]imapEntry, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		ino := d.U64()
+		fs.imap[ino] = imapEntry{
+			addr: core.BlockAddr{FID: wire.FID(d.U64()), Off: d.U32()},
+			size: d.U32(),
+		}
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("sting: bad checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Replay implements service.Service, rolling the name space and file
+// contents forward from the log's records (§2.1.3). Creation records of
+// inode blocks re-bind the inode map; creation records of data blocks
+// patch the affected inode (this also absorbs blocks relocated by the
+// cleaner before the crash); unlink records remove inodes.
+func (fs *FS) Replay(rec core.ReplayEntry) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch rec.Kind {
+	case core.EntryCreate:
+		cr, err := core.DecodeCreateRecord(rec.Payload)
+		if err != nil {
+			return err
+		}
+		h, err := decodeHint(cr.Hint)
+		if err != nil {
+			return err
+		}
+		switch h.kind {
+		case hintInode:
+			fs.imap[h.ino] = imapEntry{addr: cr.Addr, size: cr.Len}
+			delete(fs.inodes, h.ino) // force reload from the new block
+			if h.ino >= fs.nextIno {
+				fs.nextIno = h.ino + 1
+			}
+			// Apply data patches that arrived before the inode existed.
+			if patches := fs.pending[h.ino]; len(patches) > 0 {
+				delete(fs.pending, h.ino)
+				in, err := fs.loadInode(h.ino)
+				if err != nil {
+					return err
+				}
+				for _, p := range patches {
+					fs.applyPatchLocked(in, p)
+				}
+			}
+		case hintData:
+			p := patch{idx: h.idx, addr: cr.Addr, len: cr.Len, size: h.size}
+			if _, ok := fs.imap[h.ino]; !ok {
+				if _, cached := fs.inodes[h.ino]; !cached {
+					fs.pending[h.ino] = append(fs.pending[h.ino], p)
+					return nil
+				}
+			}
+			in, err := fs.loadInode(h.ino)
+			if err != nil {
+				return err
+			}
+			fs.applyPatchLocked(in, p)
+		}
+	case core.EntryDelete:
+		// Deletions of old block versions carry no metadata changes;
+		// the creation records already rebound everything.
+	case core.EntryRecord:
+		ino, err := decodeUnlinkRecord(rec.Payload)
+		if err != nil {
+			return err
+		}
+		delete(fs.imap, ino)
+		delete(fs.inodes, ino)
+		delete(fs.dirtyIno, ino)
+		delete(fs.pending, ino)
+	}
+	return nil
+}
+
+// applyPatchLocked rebinds one data block of in. Caller holds fs.mu.
+func (fs *FS) applyPatchLocked(in *inode, p patch) {
+	in.size = p.size
+	fs.ensureBlocks(in)
+	if int(p.idx) < len(in.blocks) {
+		in.blocks[p.idx] = blockPtr{addr: p.addr, len: p.len}
+	}
+	fs.dirtyIno[in.ino] = true
+}
+
+// BlockMoved implements service.Service: the cleaner relocated a block;
+// rebind the metadata the hint points at.
+func (fs *FS) BlockMoved(old, newAddr core.BlockAddr, length uint32, hintBytes []byte) error {
+	h, err := decodeHint(hintBytes)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch h.kind {
+	case hintInode:
+		if ent, ok := fs.imap[h.ino]; ok && ent.addr == old {
+			fs.imap[h.ino] = imapEntry{addr: newAddr, size: length}
+		}
+	case hintData:
+		in, err := fs.loadInode(h.ino)
+		if err != nil {
+			if errors.Is(err, vfs.ErrNotExist) {
+				return nil // inode gone; the move is moot
+			}
+			return err
+		}
+		if int(h.idx) < len(in.blocks) && in.blocks[h.idx].addr == old {
+			in.blocks[h.idx] = blockPtr{addr: newAddr, len: length}
+			fs.dirtyIno[in.ino] = true
+		}
+	}
+	if fs.cache != nil {
+		fs.cache.Invalidate(old)
+	}
+	return nil
+}
+
+// BlockLive implements service.Service: a block is live iff the metadata
+// the hint names still points at it.
+func (fs *FS) BlockLive(addr core.BlockAddr, hintBytes []byte) bool {
+	h, err := decodeHint(hintBytes)
+	if err != nil {
+		return true // unrecognizable: keep it (safe)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch h.kind {
+	case hintInode:
+		ent, ok := fs.imap[h.ino]
+		return ok && ent.addr == addr
+	case hintData:
+		if _, ok := fs.imap[h.ino]; !ok {
+			if _, cached := fs.inodes[h.ino]; !cached {
+				return false // inode gone: data is dead
+			}
+		}
+		in, err := fs.loadInode(h.ino)
+		if err != nil {
+			return true // can't verify: keep it
+		}
+		return int(h.idx) < len(in.blocks) && in.blocks[h.idx].addr == addr
+	}
+	return true
+}
+
+// CheckpointDemand implements service.Service by checkpointing now.
+func (fs *FS) CheckpointDemand() error {
+	err := fs.Checkpoint()
+	if errors.Is(err, vfs.ErrClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"swarm/internal/wire"
+)
+
+// Flaky wraps a ServerConn for failure injection in tests: it can be
+// brought down entirely (every call fails with ErrUnavailable, as a
+// crashed server would) or configured to fail the next N calls.
+type Flaky struct {
+	inner ServerConn
+	down  atomic.Bool
+
+	mu        sync.Mutex
+	failNext  int
+	failErr   error
+	callCount atomic.Int64
+}
+
+var _ ServerConn = (*Flaky)(nil)
+
+// NewFlaky wraps inner; the connection starts healthy.
+func NewFlaky(inner ServerConn) *Flaky { return &Flaky{inner: inner} }
+
+// SetDown brings the simulated server down or back up.
+func (f *Flaky) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports whether the simulated server is down.
+func (f *Flaky) Down() bool { return f.down.Load() }
+
+// FailNext makes the next n calls fail with err.
+func (f *Flaky) FailNext(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext = n
+	f.failErr = err
+}
+
+// Calls returns how many operations were attempted (including failed).
+func (f *Flaky) Calls() int64 { return f.callCount.Load() }
+
+func (f *Flaky) gate() error {
+	f.callCount.Add(1)
+	if f.down.Load() {
+		return ErrUnavailable
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext > 0 {
+		f.failNext--
+		return f.failErr
+	}
+	return nil
+}
+
+// ID implements ServerConn.
+func (f *Flaky) ID() wire.ServerID { return f.inner.ID() }
+
+// Store implements ServerConn.
+func (f *Flaky) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Store(fid, data, mark, ranges)
+}
+
+// Read implements ServerConn.
+func (f *Flaky) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(fid, off, n)
+}
+
+// Delete implements ServerConn.
+func (f *Flaky) Delete(fid wire.FID) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Delete(fid)
+}
+
+// Prealloc implements ServerConn.
+func (f *Flaky) Prealloc(fid wire.FID) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Prealloc(fid)
+}
+
+// LastMarked implements ServerConn.
+func (f *Flaky) LastMarked(client wire.ClientID) (wire.FID, bool, error) {
+	if err := f.gate(); err != nil {
+		return 0, false, err
+	}
+	return f.inner.LastMarked(client)
+}
+
+// Has implements ServerConn.
+func (f *Flaky) Has(fid wire.FID) (uint32, bool, error) {
+	if err := f.gate(); err != nil {
+		return 0, false, err
+	}
+	return f.inner.Has(fid)
+}
+
+// List implements ServerConn.
+func (f *Flaky) List(client wire.ClientID) ([]wire.FID, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.List(client)
+}
+
+// ACLCreate implements ServerConn.
+func (f *Flaky) ACLCreate(members []wire.ClientID) (wire.AID, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	return f.inner.ACLCreate(members)
+}
+
+// ACLModify implements ServerConn.
+func (f *Flaky) ACLModify(aid wire.AID, add, remove []wire.ClientID) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.ACLModify(aid, add, remove)
+}
+
+// ACLDelete implements ServerConn.
+func (f *Flaky) ACLDelete(aid wire.AID) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.ACLDelete(aid)
+}
+
+// Stat implements ServerConn.
+func (f *Flaky) Stat() (wire.StatResponse, error) {
+	if err := f.gate(); err != nil {
+		return wire.StatResponse{}, err
+	}
+	return f.inner.Stat()
+}
+
+// Ping implements ServerConn.
+func (f *Flaky) Ping() error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Ping()
+}
+
+// Close implements ServerConn.
+func (f *Flaky) Close() error { return f.inner.Close() }

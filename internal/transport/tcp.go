@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"swarm/internal/wire"
+)
+
+// DefaultPoolSize is how many TCP connections a client keeps per server.
+// Two matches the log layer's pipeline depth: one fragment can be in
+// flight on the network while the server writes the previous one to disk.
+const DefaultPoolSize = 2
+
+// tcpRPC multiplexes RPCs over a small pool of TCP connections. Each RPC
+// checks out one connection for its request/response exchange, so up to
+// poolSize RPCs proceed in parallel.
+type tcpRPC struct {
+	addr   string
+	client wire.ClientID
+	nextID atomic.Uint64
+
+	pool chan *tcpStream
+
+	mu     sync.Mutex
+	closed bool
+	opened []*tcpStream
+}
+
+type tcpStream struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// TCPConn is a ServerConn over the wire protocol.
+type TCPConn struct {
+	conn
+	rpc *tcpRPC
+}
+
+var _ ServerConn = (*TCPConn)(nil)
+
+// DialTCP connects to a storage server at addr as the given client. The
+// pool holds poolSize connections, dialed lazily (poolSize ≤ 0 uses
+// DefaultPoolSize).
+func DialTCP(id wire.ServerID, addr string, client wire.ClientID, poolSize int) (*TCPConn, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	r := &tcpRPC{addr: addr, client: client, pool: make(chan *tcpStream, poolSize)}
+	// Dial the first connection eagerly so configuration errors surface
+	// at setup time; the rest are created on demand.
+	s, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.pool <- s
+	for i := 1; i < poolSize; i++ {
+		r.pool <- nil // placeholder: dialed on first use
+	}
+	return &TCPConn{conn: conn{id: id, r: r}, rpc: r}, nil
+}
+
+func (t *tcpRPC) dial() (*tcpStream, error) {
+	c, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, t.addr, err)
+	}
+	s := &tcpStream{c: c, r: wire.NewConnReader(c), w: wire.NewConnWriter(c)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, ErrUnavailable
+	}
+	t.opened = append(t.opened, s)
+	t.mu.Unlock()
+	return s, nil
+}
+
+func (t *tcpRPC) call(op wire.Op, req wire.Message, rsp wire.Message) error {
+	// One transparent retry: a pooled stream may be stale (the server
+	// restarted on the same address), in which case the first exchange
+	// fails at the transport level and a fresh dial usually succeeds.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		s, ok := <-t.pool
+		if !ok {
+			return ErrUnavailable
+		}
+		if s == nil {
+			var err error
+			if s, err = t.dial(); err != nil {
+				// Return the slot so later calls can retry dialing.
+				t.putBack(nil)
+				return err
+			}
+		}
+		id := t.nextID.Add(1)
+		err := t.exchange(s, op, id, req, rsp)
+		if err == nil {
+			t.putBack(s)
+			return nil
+		}
+		if _, isStatus := err.(*wire.StatusError); isStatus {
+			t.putBack(s)
+			return err
+		}
+		// Transport-level failure: drop the stream, leave a placeholder
+		// so the pool can re-dial.
+		s.c.Close()
+		t.putBack(nil)
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+func (t *tcpRPC) putBack(s *tcpStream) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		if s != nil {
+			s.c.Close()
+		}
+		return
+	}
+	t.pool <- s
+}
+
+func (t *tcpRPC) exchange(s *tcpStream, op wire.Op, id uint64, req, rsp wire.Message) error {
+	if err := wire.WriteRequest(s.w, op, id, t.client, req); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	frame, err := wire.ReadResponseFrame(s.r)
+	if err != nil {
+		return err
+	}
+	if frame.ID != id {
+		return fmt.Errorf("response id %d for request %d", frame.ID, id)
+	}
+	if err := frame.Err(); err != nil {
+		return err
+	}
+	return rsp.Decode(wire.NewDecoder(frame.Body))
+}
+
+// Close implements ServerConn, closing all pooled connections.
+func (c *TCPConn) Close() error {
+	t := c.rpc
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, s := range t.opened {
+		s.c.Close()
+	}
+	t.mu.Unlock()
+	// Drain the pool so blocked callers get ErrUnavailable promptly.
+	for {
+		select {
+		case <-t.pool:
+		default:
+			close(t.pool)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"time"
+
+	"swarm/internal/model"
+	"swarm/internal/wire"
+)
+
+// NetModel holds the shared resources a throttled connection contends for.
+// One ClientNIC is shared by all of a client's connections; one ServerNIC
+// and ServerCPU are shared by all clients of a server. This reproduces the
+// paper's switched-Ethernet topology, where the switch is non-blocking and
+// each host link is the contention point.
+type NetModel struct {
+	Clock     model.Clock
+	ClientNIC *model.Queue
+	ServerNIC *model.Queue
+	ServerCPU *model.Queue
+	// Latency is charged per message (switch + protocol stack).
+	Latency time.Duration
+	// ReqOverhead is fixed server work charged per request.
+	ReqOverhead time.Duration
+}
+
+// NewNetModel builds per-host resources from hardware parameters. Call it
+// once per client (for the client NIC) and once per server (for the server
+// NIC and CPU), then combine with Combine.
+func NewNetModel(clock model.Clock, p model.HardwareParams) NetModel {
+	if clock == nil {
+		clock = model.WallClock{}
+	}
+	nm := NetModel{Clock: clock, Latency: p.NetLatency, ReqOverhead: p.ServerReqOverhead}
+	if p.NetRate > 0 {
+		nm.ClientNIC = model.NewQueue(clock, p.NetRate)
+		nm.ServerNIC = model.NewQueue(clock, p.NetRate)
+	}
+	if p.ServerCPU > 0 {
+		nm.ServerCPU = model.NewQueue(clock, p.ServerCPU)
+	}
+	return nm
+}
+
+// Throttled wraps a ServerConn with the network/server performance model.
+type Throttled struct {
+	inner ServerConn
+	nm    NetModel
+}
+
+var _ ServerConn = (*Throttled)(nil)
+
+// NewThrottled wraps inner so that every operation pays for network
+// transfer, per-message latency, and server request processing according
+// to nm.
+func NewThrottled(inner ServerConn, nm NetModel) *Throttled {
+	if nm.Clock == nil {
+		nm.Clock = model.WallClock{}
+	}
+	return &Throttled{inner: inner, nm: nm}
+}
+
+// chargeWire models moving n payload bytes across the network plus one
+// round of fixed costs. All three shared resources (the two host links
+// and the server's request processing) are debited — that is where
+// cross-client and cross-server contention comes from — but the caller
+// sleeps only for the slowest of them: the stages of one transfer are
+// pipelined (cut-through switching, processing while streaming), so a
+// request's latency is its bottleneck stage, not the sum of stages.
+func (t *Throttled) chargeWire(n int) {
+	w := t.nm.ClientNIC.Reserve(n)
+	if w2 := t.nm.ServerNIC.Reserve(n); w2 > w {
+		w = w2
+	}
+	if w3 := t.nm.ServerCPU.Reserve(n); w3 > w {
+		w = w3
+	}
+	t.nm.Clock.Sleep(w + t.nm.Latency + t.nm.ReqOverhead)
+}
+
+func (t *Throttled) chargeSend(n int) { t.chargeWire(n) }
+func (t *Throttled) chargeRecv(n int) { t.chargeWire(n) }
+
+// chargeControl models a small request/response with no bulk payload.
+func (t *Throttled) chargeControl() {
+	t.nm.Clock.Sleep(t.nm.Latency + t.nm.ReqOverhead)
+}
+
+// ID implements ServerConn.
+func (t *Throttled) ID() wire.ServerID { return t.inner.ID() }
+
+// Store implements ServerConn.
+func (t *Throttled) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	t.chargeSend(len(data))
+	return t.inner.Store(fid, data, mark, ranges)
+}
+
+// Read implements ServerConn.
+func (t *Throttled) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	data, err := t.inner.Read(fid, off, n)
+	if err != nil {
+		t.chargeControl()
+		return nil, err
+	}
+	t.chargeRecv(len(data))
+	return data, nil
+}
+
+// Delete implements ServerConn.
+func (t *Throttled) Delete(fid wire.FID) error {
+	t.chargeControl()
+	return t.inner.Delete(fid)
+}
+
+// Prealloc implements ServerConn.
+func (t *Throttled) Prealloc(fid wire.FID) error {
+	t.chargeControl()
+	return t.inner.Prealloc(fid)
+}
+
+// LastMarked implements ServerConn.
+func (t *Throttled) LastMarked(client wire.ClientID) (wire.FID, bool, error) {
+	t.chargeControl()
+	return t.inner.LastMarked(client)
+}
+
+// Has implements ServerConn.
+func (t *Throttled) Has(fid wire.FID) (uint32, bool, error) {
+	t.chargeControl()
+	return t.inner.Has(fid)
+}
+
+// List implements ServerConn.
+func (t *Throttled) List(client wire.ClientID) ([]wire.FID, error) {
+	t.chargeControl()
+	return t.inner.List(client)
+}
+
+// ACLCreate implements ServerConn.
+func (t *Throttled) ACLCreate(members []wire.ClientID) (wire.AID, error) {
+	t.chargeControl()
+	return t.inner.ACLCreate(members)
+}
+
+// ACLModify implements ServerConn.
+func (t *Throttled) ACLModify(aid wire.AID, add, remove []wire.ClientID) error {
+	t.chargeControl()
+	return t.inner.ACLModify(aid, add, remove)
+}
+
+// ACLDelete implements ServerConn.
+func (t *Throttled) ACLDelete(aid wire.AID) error {
+	t.chargeControl()
+	return t.inner.ACLDelete(aid)
+}
+
+// Stat implements ServerConn.
+func (t *Throttled) Stat() (wire.StatResponse, error) {
+	t.chargeControl()
+	return t.inner.Stat()
+}
+
+// Ping implements ServerConn.
+func (t *Throttled) Ping() error {
+	t.chargeControl()
+	return t.inner.Ping()
+}
+
+// Close implements ServerConn.
+func (t *Throttled) Close() error { return t.inner.Close() }

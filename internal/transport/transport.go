@@ -1,0 +1,173 @@
+// Package transport connects the client-side log layer to storage servers.
+// It defines the ServerConn abstraction and three implementations: Local
+// (in-process calls into a server.Store through the full request codec),
+// TCP (the wire protocol over the network), and Throttled (either of the
+// above wrapped in the 1999 performance model). A Flaky wrapper injects
+// failures for tests, and Broadcast implements the self-hosting fragment
+// discovery the paper uses for reconstruction (§2.3.3).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swarm/internal/wire"
+)
+
+// ErrUnavailable indicates the server cannot be reached; the log layer
+// treats it as a server failure and falls back to reconstruction.
+var ErrUnavailable = errors.New("transport: server unavailable")
+
+// ServerConn is one client's connection to one storage server. All methods
+// are safe for concurrent use. Errors originating from the server are
+// *wire.StatusError values, so callers can match with wire.IsStatus
+// regardless of the transport in use.
+type ServerConn interface {
+	// ID returns the server's identity within the cluster configuration.
+	ID() wire.ServerID
+	// Store writes a complete fragment (atomically on the server).
+	Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error
+	// Read returns n bytes at off of fragment fid.
+	Read(fid wire.FID, off, n uint32) ([]byte, error)
+	// Delete removes a fragment.
+	Delete(fid wire.FID) error
+	// Prealloc reserves a slot for fid.
+	Prealloc(fid wire.FID) error
+	// LastMarked returns the newest marked fragment for client.
+	LastMarked(client wire.ClientID) (wire.FID, bool, error)
+	// Has reports whether the server stores fid and its size.
+	Has(fid wire.FID) (uint32, bool, error)
+	// List enumerates fragments owned by client (0 = all).
+	List(client wire.ClientID) ([]wire.FID, error)
+	// ACLCreate creates an access control list.
+	ACLCreate(members []wire.ClientID) (wire.AID, error)
+	// ACLModify changes ACL membership.
+	ACLModify(aid wire.AID, add, remove []wire.ClientID) error
+	// ACLDelete removes an ACL.
+	ACLDelete(aid wire.AID) error
+	// Stat returns server occupancy.
+	Stat() (wire.StatResponse, error)
+	// Ping checks liveness.
+	Ping() error
+	// Close releases the connection.
+	Close() error
+}
+
+// rpc is the uniform request/response core shared by Local and TCP:
+// encode the request body, exchange it, check status, decode the reply.
+type rpc interface {
+	call(op wire.Op, req wire.Message, rsp wire.Message) error
+}
+
+// conn layers the typed ServerConn methods over an rpc.
+type conn struct {
+	id wire.ServerID
+	r  rpc
+}
+
+func (c *conn) ID() wire.ServerID { return c.id }
+
+func (c *conn) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	return c.r.call(wire.OpStore, &wire.StoreRequest{FID: fid, Mark: mark, Ranges: ranges, Data: data}, &wire.GenericResponse{})
+}
+
+func (c *conn) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	var rsp wire.ReadResponse
+	if err := c.r.call(wire.OpRead, &wire.ReadRequest{FID: fid, Off: off, Len: n}, &rsp); err != nil {
+		return nil, err
+	}
+	return rsp.Data, nil
+}
+
+func (c *conn) Delete(fid wire.FID) error {
+	return c.r.call(wire.OpDelete, &wire.DeleteRequest{FID: fid}, &wire.GenericResponse{})
+}
+
+func (c *conn) Prealloc(fid wire.FID) error {
+	return c.r.call(wire.OpPrealloc, &wire.PreallocRequest{FID: fid}, &wire.GenericResponse{})
+}
+
+func (c *conn) LastMarked(client wire.ClientID) (wire.FID, bool, error) {
+	var rsp wire.LastMarkedResponse
+	if err := c.r.call(wire.OpLastMarked, &wire.LastMarkedRequest{Client: client}, &rsp); err != nil {
+		return 0, false, err
+	}
+	return rsp.FID, rsp.Found, nil
+}
+
+func (c *conn) Has(fid wire.FID) (uint32, bool, error) {
+	var rsp wire.HasFragmentResponse
+	if err := c.r.call(wire.OpHasFragment, &wire.HasFragmentRequest{FID: fid}, &rsp); err != nil {
+		return 0, false, err
+	}
+	return rsp.Size, rsp.Found, nil
+}
+
+func (c *conn) List(client wire.ClientID) ([]wire.FID, error) {
+	var rsp wire.ListFIDsResponse
+	if err := c.r.call(wire.OpListFIDs, &wire.ListFIDsRequest{Client: client}, &rsp); err != nil {
+		return nil, err
+	}
+	return rsp.FIDs, nil
+}
+
+func (c *conn) ACLCreate(members []wire.ClientID) (wire.AID, error) {
+	var rsp wire.ACLCreateResponse
+	if err := c.r.call(wire.OpACLCreate, &wire.ACLCreateRequest{Members: members}, &rsp); err != nil {
+		return 0, err
+	}
+	return rsp.AID, nil
+}
+
+func (c *conn) ACLModify(aid wire.AID, add, remove []wire.ClientID) error {
+	return c.r.call(wire.OpACLModify, &wire.ACLModifyRequest{AID: aid, Add: add, Remove: remove}, &wire.GenericResponse{})
+}
+
+func (c *conn) ACLDelete(aid wire.AID) error {
+	return c.r.call(wire.OpACLDelete, &wire.ACLDeleteRequest{AID: aid}, &wire.GenericResponse{})
+}
+
+func (c *conn) Stat() (wire.StatResponse, error) {
+	var rsp wire.StatResponse
+	err := c.r.call(wire.OpStat, &wire.StatRequest{}, &rsp)
+	return rsp, err
+}
+
+func (c *conn) Ping() error {
+	return c.r.call(wire.OpPing, &wire.PingRequest{}, &wire.GenericResponse{})
+}
+
+// Broadcast queries every connection for fid concurrently and returns the
+// connections that have it. Unreachable servers are skipped: broadcast is
+// exactly the mechanism that must work when a server is down.
+func Broadcast(conns []ServerConn, fid wire.FID) []ServerConn {
+	var (
+		mu    sync.Mutex
+		found []ServerConn
+		wg    sync.WaitGroup
+	)
+	for _, sc := range conns {
+		wg.Add(1)
+		go func(sc ServerConn) {
+			defer wg.Done()
+			if _, ok, err := sc.Has(fid); err == nil && ok {
+				mu.Lock()
+				found = append(found, sc)
+				mu.Unlock()
+			}
+		}(sc)
+	}
+	wg.Wait()
+	return found
+}
+
+// ByID returns the connection with the given server ID, or an error.
+func ByID(conns []ServerConn, id wire.ServerID) (ServerConn, error) {
+	for _, sc := range conns {
+		if sc.ID() == id {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: server %d not in configuration", ErrUnavailable, id)
+}

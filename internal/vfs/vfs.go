@@ -1,0 +1,214 @@
+// Package vfs defines the file-system interface shared by Sting (the
+// Swarm-backed log-structured file system) and extfs (the ext2-like
+// baseline), so benchmarks and tests treat both uniformly. The interface
+// mirrors the "standard UNIX file system interface" Sting provides
+// (§3.1).
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// Common file-system errors.
+var (
+	// ErrNotExist is returned when a path does not exist.
+	ErrNotExist = errors.New("vfs: no such file or directory")
+	// ErrExist is returned when creating an existing path.
+	ErrExist = errors.New("vfs: file exists")
+	// ErrNotDir is returned when a path component is not a directory.
+	ErrNotDir = errors.New("vfs: not a directory")
+	// ErrIsDir is returned for file operations on a directory.
+	ErrIsDir = errors.New("vfs: is a directory")
+	// ErrNotEmpty is returned when removing a non-empty directory.
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	// ErrInvalid is returned for malformed paths or arguments.
+	ErrInvalid = errors.New("vfs: invalid argument")
+	// ErrNoSpace is returned when the file system is full.
+	ErrNoSpace = errors.New("vfs: no space left on device")
+	// ErrClosed is returned for operations on a closed file or FS.
+	ErrClosed = errors.New("vfs: closed")
+)
+
+// FileMode distinguishes files from directories.
+type FileMode uint8
+
+// File modes.
+const (
+	ModeFile FileMode = iota + 1
+	ModeDir
+)
+
+// IsDir reports whether the mode is a directory.
+func (m FileMode) IsDir() bool { return m == ModeDir }
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Ino   uint64
+	Size  int64
+	Mode  FileMode
+	Nlink uint32
+	MTime time.Time
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+	Mode FileMode
+}
+
+// File is an open file handle.
+type File interface {
+	// ReadAt reads up to len(p) bytes at offset off. Returns the count
+	// read; a read past EOF returns a short (possibly zero) count with
+	// no error.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes p at offset off, extending the file as needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size returns the current file size.
+	Size() (int64, error)
+	// Truncate sets the file size.
+	Truncate(size int64) error
+	// Sync makes the file's data and metadata durable.
+	Sync() error
+	// Close releases the handle (without an implicit Sync).
+	Close() error
+}
+
+// FileSystem is the interface Sting and extfs implement.
+type FileSystem interface {
+	// Create creates (or truncates) a file and opens it.
+	Create(path string) (File, error)
+	// Open opens an existing file.
+	Open(path string) (File, error)
+	// Mkdir creates a directory.
+	Mkdir(path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Unlink removes a file.
+	Unlink(path string) error
+	// Rename atomically moves a file or directory. The destination must
+	// not exist, except for files, which are replaced.
+	Rename(oldPath, newPath string) error
+	// Stat describes a path.
+	Stat(path string) (FileInfo, error)
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(path string) ([]DirEntry, error)
+	// Sync flushes all cached state to stable storage.
+	Sync() error
+	// Unmount flushes and shuts the file system down.
+	Unmount() error
+}
+
+// SplitPath normalizes an absolute path into components. "/" yields an
+// empty slice. Errors on relative, empty, or dot-containing paths.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrInvalid
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, ErrInvalid
+		}
+		if len(p) > 255 {
+			return nil, ErrInvalid
+		}
+	}
+	return parts, nil
+}
+
+// SplitDir returns the parent components and final name of a path.
+func SplitDir(path string) (parent []string, name string, err error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", ErrInvalid // operations on "/" itself
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}
+
+// ReadFile reads an entire file through fs.
+func ReadFile(fs FileSystem, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFile creates path with the given contents.
+func WriteFile(fs FileSystem, path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MkdirAll creates a directory and any missing parents.
+func MkdirAll(fs FileSystem, path string) error {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := fs.Mkdir(cur); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk visits every path under root (depth-first, lexical order),
+// calling fn with the path and its info.
+func Walk(fs FileSystem, root string, fn func(path string, info FileInfo) error) error {
+	info, err := fs.Stat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(root, info); err != nil {
+		return err
+	}
+	if !info.Mode.IsDir() {
+		return nil
+	}
+	entries, err := fs.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := root + "/" + e.Name
+		if root == "/" {
+			child = "/" + e.Name
+		}
+		if err := Walk(fs, child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

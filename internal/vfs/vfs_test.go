@@ -1,0 +1,249 @@
+package vfs
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSplitPath(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"/", nil, false},
+		{"/a", []string{"a"}, false},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"", nil, true},
+		{"relative", nil, true},
+		{"//", nil, true},
+		{"/a//b", nil, true},
+		{"/a/./b", nil, true},
+		{"/a/../b", nil, true},
+		{"/" + strings.Repeat("x", 256), nil, true},
+	}
+	for _, tt := range tests {
+		got, err := SplitPath(tt.in)
+		if tt.err {
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("SplitPath(%q) err = %v, want ErrInvalid", tt.in, err)
+			}
+			continue
+		}
+		if err != nil || !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("SplitPath(%q) = (%v,%v), want %v", tt.in, got, err, tt.want)
+		}
+	}
+}
+
+func TestSplitDir(t *testing.T) {
+	parent, name, err := SplitDir("/a/b/c")
+	if err != nil || name != "c" || !reflect.DeepEqual(parent, []string{"a", "b"}) {
+		t.Fatalf("SplitDir = (%v,%q,%v)", parent, name, err)
+	}
+	parent, name, err = SplitDir("/top")
+	if err != nil || name != "top" || len(parent) != 0 {
+		t.Fatalf("SplitDir(/top) = (%v,%q,%v)", parent, name, err)
+	}
+	if _, _, err := SplitDir("/"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("SplitDir(/) = %v", err)
+	}
+}
+
+func TestFileModeIsDir(t *testing.T) {
+	if ModeFile.IsDir() || !ModeDir.IsDir() {
+		t.Fatal("IsDir wrong")
+	}
+}
+
+// memFS is a trivial in-memory FileSystem for testing the helpers.
+type memFS struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+func newMemFS() *memFS {
+	return &memFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true}}
+}
+
+type memFile struct {
+	fs   *memFS
+	path string
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	data := f.fs.files[f.path]
+	if off >= int64(len(data)) {
+		return 0, nil
+	}
+	return copy(p, data[off:]), nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	data := f.fs.files[f.path]
+	need := int(off) + len(p)
+	if need > len(data) {
+		nd := make([]byte, need)
+		copy(nd, data)
+		data = nd
+	}
+	copy(data[off:], p)
+	f.fs.files[f.path] = data
+	return len(p), nil
+}
+
+func (f *memFile) Size() (int64, error) { return int64(len(f.fs.files[f.path])), nil }
+func (f *memFile) Truncate(n int64) error {
+	f.fs.files[f.path] = f.fs.files[f.path][:n]
+	return nil
+}
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+func (m *memFS) Create(path string) (File, error) {
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *memFS) Open(path string) (File, error) {
+	if _, ok := m.files[path]; !ok {
+		return nil, ErrNotExist
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *memFS) Mkdir(path string) error {
+	if m.dirs[path] {
+		return ErrExist
+	}
+	m.dirs[path] = true
+	return nil
+}
+
+func (m *memFS) Rmdir(path string) error  { delete(m.dirs, path); return nil }
+func (m *memFS) Unlink(path string) error { delete(m.files, path); return nil }
+func (m *memFS) Rename(a, b string) error {
+	m.files[b] = m.files[a]
+	delete(m.files, a)
+	return nil
+}
+
+func (m *memFS) Stat(path string) (FileInfo, error) {
+	if m.dirs[path] {
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 && path != "/" {
+			name = path[i+1:]
+		}
+		return FileInfo{Name: name, Mode: ModeDir, MTime: time.Unix(0, 0)}, nil
+	}
+	if data, ok := m.files[path]; ok {
+		return FileInfo{Name: path, Size: int64(len(data)), Mode: ModeFile}, nil
+	}
+	return FileInfo{}, ErrNotExist
+}
+
+func (m *memFS) ReadDir(path string) ([]DirEntry, error) {
+	prefix := path
+	if path != "/" {
+		prefix += "/"
+	}
+	var out []DirEntry
+	seen := map[string]bool{}
+	add := func(full string, mode FileMode) {
+		rest := strings.TrimPrefix(full, prefix)
+		if rest == full || rest == "" || strings.Contains(rest, "/") {
+			return
+		}
+		if !seen[rest] {
+			seen[rest] = true
+			out = append(out, DirEntry{Name: rest, Mode: mode})
+		}
+	}
+	for p := range m.files {
+		add(p, ModeFile)
+	}
+	for p := range m.dirs {
+		add(p, ModeDir)
+	}
+	return out, nil
+}
+
+func (m *memFS) Sync() error    { return nil }
+func (m *memFS) Unmount() error { return nil }
+
+var _ FileSystem = (*memFS)(nil)
+
+func TestReadWriteFileHelpers(t *testing.T) {
+	fs := newMemFS()
+	if err := WriteFile(fs, "/x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(fs, "/x")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = (%q,%v)", got, err)
+	}
+	if _, err := ReadFile(fs, "/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadFile missing = %v", err)
+	}
+}
+
+func TestMkdirAllHelper(t *testing.T) {
+	fs := newMemFS()
+	if err := MkdirAll(fs, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.dirs["/a"] || !fs.dirs["/a/b"] || !fs.dirs["/a/b/c"] {
+		t.Fatalf("dirs = %v", fs.dirs)
+	}
+	// Idempotent.
+	if err := MkdirAll(fs, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := MkdirAll(fs, "bad"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("MkdirAll(bad) = %v", err)
+	}
+}
+
+func TestWalkHelper(t *testing.T) {
+	fs := newMemFS()
+	if err := MkdirAll(fs, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fs, "/a/f1", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fs, "/a/b/f2", []byte("22")); err != nil {
+		t.Fatal(err)
+	}
+	var visited []string
+	err := Walk(fs, "/", func(path string, info FileInfo) error {
+		visited = append(visited, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"/": true, "/a": true, "/a/b": true, "/a/f1": true, "/a/b/f2": true}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for _, v := range visited {
+		if !want[v] {
+			t.Fatalf("unexpected visit %q", v)
+		}
+	}
+	// Error propagation.
+	boom := errors.New("boom")
+	err = Walk(fs, "/", func(path string, info FileInfo) error {
+		if path == "/a" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("walk error = %v", err)
+	}
+}

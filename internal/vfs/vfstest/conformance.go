@@ -1,0 +1,477 @@
+package vfstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swarm/internal/vfs"
+)
+
+// Conformance runs the shared file-system contract suite against
+// whatever factory builds. Both Sting and extfs must pass it; keeping it
+// here guarantees the Modified Andrew Benchmark measures two systems with
+// identical semantics.
+func Conformance(t *testing.T, factory func(t *testing.T) vfs.FileSystem) {
+	t.Helper()
+	tests := []struct {
+		name string
+		fn   func(t *testing.T, fs vfs.FileSystem)
+	}{
+		{"CreateWriteRead", ctCreateWriteRead},
+		{"CreateTruncatesExisting", ctCreateTruncates},
+		{"OpenMissing", ctOpenMissing},
+		{"WriteExtendsAndOverwrites", ctWriteExtends},
+		{"SparseWrite", ctSparseWrite},
+		{"Truncate", ctTruncate},
+		{"MkdirReadDir", ctMkdirReadDir},
+		{"MkdirErrors", ctMkdirErrors},
+		{"RmdirSemantics", ctRmdir},
+		{"UnlinkSemantics", ctUnlink},
+		{"RenameFile", ctRenameFile},
+		{"RenameDir", ctRenameDir},
+		{"RenameErrors", ctRenameErrors},
+		{"StatRootAndNested", ctStat},
+		{"DeepPaths", ctDeepPaths},
+		{"ManyFilesInDir", ctManyFiles},
+		{"LargeFileIO", ctLargeFile},
+		{"RandomFileIO", ctRandomIO},
+		{"PathValidation", ctPathValidation},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fs := factory(t)
+			defer fs.Unmount()
+			tt.fn(t, fs)
+		})
+	}
+}
+
+func ctCreateWriteRead(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("read %q", got)
+	}
+	info, err := fs.Stat("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 11 || info.Mode != vfs.ModeFile || info.Name != "hello.txt" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func ctCreateTruncates(t *testing.T, fs vfs.FileSystem) {
+	if err := vfs.WriteFile(fs, "/f", []byte("long content here")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil || size != 0 {
+		t.Fatalf("size after re-create = (%d,%v)", size, err)
+	}
+}
+
+func ctOpenMissing(t *testing.T, fs vfs.FileSystem) {
+	if _, err := fs.Open("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := fs.Open("/a/b/c"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("open missing nested: %v", err)
+	}
+	if _, err := fs.Stat("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+}
+
+func ctWriteExtends(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("aaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bb"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("cc"), 6); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("aabb\x00\x00cc")
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatalf("read %q, want %q", buf[:n], want)
+	}
+}
+
+func ctSparseWrite(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("end"), 20000); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	if size != 20003 {
+		t.Fatalf("size = %d", size)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 10)) {
+		t.Fatal("hole not zero-filled")
+	}
+}
+
+func ctTruncate(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := bytes.Repeat([]byte("x"), 10000)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	if size != 5 {
+		t.Fatalf("size after shrink = %d", size)
+	}
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != 100 {
+		t.Fatalf("read = (%d,%v)", n, err)
+	}
+	if !bytes.Equal(buf[:5], []byte("xxxxx")) || !bytes.Equal(buf[5:], make([]byte, 95)) {
+		t.Fatal("truncate-extend contents wrong")
+	}
+}
+
+func ctMkdirReadDir(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/d/file", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "file" || entries[1].Name != "sub" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Mode != vfs.ModeFile || entries[1].Mode != vfs.ModeDir {
+		t.Fatalf("modes = %+v", entries)
+	}
+	root, err := fs.ReadDir("/")
+	if err != nil || len(root) != 1 || root[0].Name != "d" {
+		t.Fatalf("root = (%+v,%v)", root, err)
+	}
+}
+
+func ctMkdirErrors(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if err := fs.Mkdir("/missing/sub"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("mkdir under missing: %v", err)
+	}
+	if err := vfs.WriteFile(fs, "/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/f/sub"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("mkdir under file: %v", err)
+	}
+	if _, err := fs.Create("/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("create over dir: %v", err)
+	}
+}
+
+func ctRmdir(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/d/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := fs.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat removed dir: %v", err)
+	}
+	if err := fs.Rmdir("/d"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("rmdir missing: %v", err)
+	}
+	if err := vfs.WriteFile(fs, "/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/f"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+}
+
+func ctUnlink(t *testing.T, fs vfs.FileSystem) {
+	if err := vfs.WriteFile(fs, "/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat unlinked: %v", err)
+	}
+	if err := fs.Unlink("/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("double unlink: %v", err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+}
+
+func ctRenameFile(t *testing.T, fs vfs.FileSystem) {
+	if err := vfs.WriteFile(fs, "/a", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("source survives rename")
+	}
+	got, err := vfs.ReadFile(fs, "/d/b")
+	if err != nil || string(got) != "content" {
+		t.Fatalf("renamed contents = (%q,%v)", got, err)
+	}
+	// Rename over an existing file replaces it.
+	if err := vfs.WriteFile(fs, "/c", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/c", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = vfs.ReadFile(fs, "/d/b")
+	if string(got) != "new" {
+		t.Fatalf("replace rename = %q", got)
+	}
+}
+
+func ctRenameDir(t *testing.T, fs vfs.FileSystem) {
+	if err := vfs.MkdirAll(fs, "/x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/x/y/f", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/x", "/z"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/z/y/f")
+	if err != nil || string(got) != "deep" {
+		t.Fatalf("after dir rename = (%q,%v)", got, err)
+	}
+}
+
+func ctRenameErrors(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Rename("/missing", "/x"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("rename missing: %v", err)
+	}
+	if err := fs.Mkdir("/d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/d1", "/d2"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("rename dir over dir: %v", err)
+	}
+}
+
+func ctStat(t *testing.T, fs vfs.FileSystem) {
+	info, err := fs.Stat("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Mode.IsDir() {
+		t.Fatal("root is not a directory")
+	}
+	if err := vfs.MkdirAll(fs, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/a/b/c", bytes.Repeat([]byte("z"), 1234)); err != nil {
+		t.Fatal(err)
+	}
+	info, err = fs.Stat("/a/b/c")
+	if err != nil || info.Size != 1234 {
+		t.Fatalf("nested stat = (%+v,%v)", info, err)
+	}
+}
+
+func ctDeepPaths(t *testing.T, fs vfs.FileSystem) {
+	path := ""
+	for i := 0; i < 8; i++ {
+		path += fmt.Sprintf("/dir%d", i)
+		if err := fs.Mkdir(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vfs.WriteFile(fs, path+"/leaf", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, path+"/leaf")
+	if err != nil || string(got) != "deep" {
+		t.Fatalf("deep read = (%q,%v)", got, err)
+	}
+}
+
+func ctManyFiles(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Mkdir("/many"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("/many/f%03d", i)
+		if err := vfs.WriteFile(fs, name, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.ReadDir("/many")
+	if err != nil || len(entries) != n {
+		t.Fatalf("readdir = (%d,%v)", len(entries), err)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Name >= entries[i].Name {
+			t.Fatal("entries not sorted")
+		}
+	}
+}
+
+func ctLargeFile(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// ~200 KB spanning many blocks, written in odd-sized chunks.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 200_000)
+	rng.Read(data)
+	for off := 0; off < len(data); {
+		n := 777
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := f.WriteAt(data[off:off+n], int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("read = (%d,%v)", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("large file corrupted")
+	}
+}
+
+func ctRandomIO(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const size = 64 << 10
+	model := make([]byte, size)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 80; i++ {
+		off := rng.Intn(size - 1024)
+		n := rng.Intn(1024) + 1
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		copy(model[off:], chunk)
+		if _, err := f.WriteAt(chunk, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsize, _ := f.Size()
+	buf := make([]byte, fsize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, model[:fsize]) {
+		t.Fatal("random IO model divergence")
+	}
+}
+
+func ctPathValidation(t *testing.T, fs vfs.FileSystem) {
+	bad := []string{"", "relative", "//", "/a//b", "/a/./b", "/a/../b"}
+	for _, p := range bad {
+		if _, err := fs.Open(p); !errors.Is(err, vfs.ErrInvalid) && !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("open %q: %v", p, err)
+		}
+	}
+	if err := fs.Unlink("/"); err == nil {
+		t.Error("unlinked root")
+	}
+	if err := fs.Mkdir("/"); err == nil {
+		t.Error("mkdir root succeeded")
+	}
+}

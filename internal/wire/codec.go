@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec errors.
+var (
+	// ErrShortBuffer is returned when a decode runs out of bytes.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrTooLarge is returned when a length field exceeds sane limits.
+	ErrTooLarge = errors.New("wire: length too large")
+)
+
+// maxSlice bounds decoded slice lengths to defend against corrupt or
+// hostile frames (fragments are at most a few MB).
+const maxSlice = 64 << 20
+
+// Encoder serializes primitive values into a growing little-endian buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with the given capacity hint.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends a byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes32 appends a uint32 length prefix followed by the bytes.
+func (e *Encoder) Bytes32(p []byte) {
+	e.U32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+// String32 appends a uint32 length prefix followed by the string bytes.
+func (e *Encoder) String32(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder consumes primitive values from a byte slice. Decoding methods
+// record the first error; callers check Err (or use the returned zero
+// values, which are safe).
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over p. The decoder does not copy p.
+func NewDecoder(p []byte) *Decoder { return &Decoder{buf: p} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, d.off, len(d.buf))
+		return nil
+	}
+	p := d.buf[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+// U8 consumes one byte.
+func (d *Decoder) U8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U16 consumes a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+// U32 consumes a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 consumes a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// Bool consumes one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Bytes32 consumes a uint32-length-prefixed byte slice. The result aliases
+// the decoder's buffer; callers that retain it must copy.
+func (d *Decoder) Bytes32() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSlice {
+		d.err = fmt.Errorf("%w: %d", ErrTooLarge, n)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String32 consumes a uint32-length-prefixed string.
+func (d *Decoder) String32() string { return string(d.Bytes32()) }

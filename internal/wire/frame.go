@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame errors.
+var (
+	// ErrBadMagic is returned when a frame does not start with the
+	// protocol magic.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrBadCRC is returned when a frame fails its checksum.
+	ErrBadCRC = errors.New("wire: frame checksum mismatch")
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+)
+
+// Frame layout (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SWM1"
+//	4       1     kind (1 = request, 2 = response)
+//	5       1     op
+//	6       1     status (0 in requests)
+//	7       8     request id (echoed in the response)
+//	15      4     client id (requests) / 0 (responses)
+//	19      4     body length N
+//	23      N     body (encoded Message; error string for non-OK status)
+//	23+N    4     CRC-32 (IEEE) over header + body
+//
+// MaxFrameSize bounds a single frame (fragments are ≤ a few MB).
+const MaxFrameSize = 64 << 20
+
+const (
+	frameMagic   = 0x314d5753 // "SWM1" little-endian
+	frameHdrSize = 4 + 1 + 1 + 1 + 8 + 4 + 4
+	frameKindReq = 1
+	frameKindRsp = 2
+)
+
+// Request is one client→server frame.
+type Request struct {
+	Op     Op
+	ID     uint64 // request identifier, echoed in the response
+	Client ClientID
+	Body   []byte // encoded Message
+}
+
+// Response is one server→client frame. When Status != StatusOK, Body holds
+// a length-prefixed error message instead of a message body.
+type Response struct {
+	Op     Op
+	ID     uint64
+	Status Status
+	Body   []byte
+}
+
+// Err converts a non-OK response into an error, or returns nil.
+func (r *Response) Err() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	msg := ""
+	d := NewDecoder(r.Body)
+	if s := d.String32(); d.Err() == nil {
+		msg = s
+	}
+	return &StatusError{Status: r.Status, Msg: msg}
+}
+
+// StatusError is the error form of a non-OK response.
+type StatusError struct {
+	Status Status
+	Msg    string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("server: %s", e.Status)
+	}
+	return fmt.Sprintf("server: %s: %s", e.Status, e.Msg)
+}
+
+// IsStatus reports whether err is a StatusError with the given status.
+func IsStatus(err error, s Status) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == s
+}
+
+func writeFrame(w io.Writer, kind uint8, op Op, id uint64, aux uint32, status Status, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, frameHdrSize)
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = kind
+	hdr[5] = uint8(op)
+	hdr[6] = uint8(status)
+	binary.LittleEndian.PutUint64(hdr[7:], id)
+	binary.LittleEndian.PutUint32(hdr[15:], aux)
+	binary.LittleEndian.PutUint32(hdr[19:], uint32(len(body)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr)
+	crc.Write(body)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	_, err := w.Write(sum[:])
+	return err
+}
+
+func readFrame(r io.Reader) (kind uint8, op Op, id uint64, aux uint32, status Status, body []byte, err error) {
+	hdr := make([]byte, frameHdrSize)
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		err = ErrBadMagic
+		return
+	}
+	kind = hdr[4]
+	op = Op(hdr[5])
+	status = Status(hdr[6])
+	id = binary.LittleEndian.Uint64(hdr[7:])
+	aux = binary.LittleEndian.Uint32(hdr[15:])
+	n := binary.LittleEndian.Uint32(hdr[19:])
+	if n > MaxFrameSize {
+		err = ErrFrameTooLarge
+		return
+	}
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return
+	}
+	var sum [4]byte
+	if _, err = io.ReadFull(r, sum[:]); err != nil {
+		return
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr)
+	crc.Write(body)
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		err = ErrBadCRC
+	}
+	return
+}
+
+// WriteRequest frames and writes a request carrying msg.
+func WriteRequest(w io.Writer, op Op, id uint64, client ClientID, msg Message) error {
+	e := NewEncoder(64)
+	msg.Encode(e)
+	return writeFrame(w, frameKindReq, op, id, uint32(client), 0, e.Bytes())
+}
+
+// ReadRequestFrame reads one request frame.
+func ReadRequestFrame(r io.Reader) (*Request, error) {
+	kind, op, id, aux, _, body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameKindReq {
+		return nil, fmt.Errorf("%w: expected request frame, got kind %d", ErrBadMessage, kind)
+	}
+	return &Request{Op: op, ID: id, Client: ClientID(aux), Body: body}, nil
+}
+
+// WriteResponse frames and writes an OK response carrying msg.
+func WriteResponse(w io.Writer, op Op, id uint64, msg Message) error {
+	e := NewEncoder(64)
+	msg.Encode(e)
+	return writeFrame(w, frameKindRsp, op, id, 0, StatusOK, e.Bytes())
+}
+
+// WriteErrorResponse frames and writes a non-OK response with a message.
+func WriteErrorResponse(w io.Writer, op Op, id uint64, status Status, msg string) error {
+	e := NewEncoder(len(msg) + 4)
+	e.String32(msg)
+	return writeFrame(w, frameKindRsp, op, id, 0, status, e.Bytes())
+}
+
+// ReadResponseFrame reads one response frame.
+func ReadResponseFrame(r io.Reader) (*Response, error) {
+	kind, op, id, _, status, body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameKindRsp {
+		return nil, fmt.Errorf("%w: expected response frame, got kind %d", ErrBadMessage, kind)
+	}
+	return &Response{Op: op, ID: id, Status: status, Body: body}, nil
+}
+
+// BufferSizes for connection readers/writers; exported so both client and
+// server sides use consistent values.
+const (
+	// ReadBufferSize is the bufio reader size for protocol connections.
+	ReadBufferSize = 256 << 10
+	// WriteBufferSize is the bufio writer size for protocol connections.
+	WriteBufferSize = 256 << 10
+)
+
+// NewConnReader wraps a connection for frame reading.
+func NewConnReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, ReadBufferSize) }
+
+// NewConnWriter wraps a connection for frame writing.
+func NewConnWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, WriteBufferSize) }

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadRequestFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteRequest(&buf, OpStore, 7, 1, &StoreRequest{FID: MakeFID(1, 2), Data: []byte("x")})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, frameHdrSize+4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequestFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything framed must decode (or fail) without panicking.
+		var store StoreRequest
+		_ = store.Decode(NewDecoder(req.Body))
+		var read ReadRequest
+		_ = read.Decode(NewDecoder(req.Body))
+		var acl ACLModifyRequest
+		_ = acl.Decode(NewDecoder(req.Body))
+	})
+}
+
+func FuzzReadResponseFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteResponse(&buf, OpRead, 7, &ReadResponse{Data: []byte("abc")})
+	f.Add(buf.Bytes())
+	var ebuf bytes.Buffer
+	_ = WriteErrorResponse(&ebuf, OpStore, 1, StatusNoSpace, "full")
+	f.Add(ebuf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rsp, err := ReadResponseFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = rsp.Err()
+		var rr ReadResponse
+		_ = rr.Decode(NewDecoder(rsp.Body))
+		var lm LastMarkedResponse
+		_ = lm.Decode(NewDecoder(rsp.Body))
+		var ls ListFIDsResponse
+		_ = ls.Decode(NewDecoder(rsp.Body))
+	})
+}

@@ -1,0 +1,107 @@
+package swarm
+
+import (
+	"fmt"
+	"log"
+
+	"swarm/internal/disk"
+	"swarm/internal/server"
+)
+
+// ServerOptions configures one storage server.
+type ServerOptions struct {
+	// DiskPath backs the server with a file; empty uses memory.
+	DiskPath string
+	// DiskBytes is the disk capacity. Default 256 MB.
+	DiskBytes int64
+	// FragmentSize is the fragment slot size. Default 1 MB, matching
+	// the paper's prototype. All servers of a cluster and all clients
+	// must agree on it.
+	FragmentSize int
+	// Listen, when non-empty, serves the wire protocol on this TCP
+	// address (e.g. "127.0.0.1:0").
+	Listen string
+	// Logger receives server diagnostics (nil discards).
+	Logger *log.Logger
+	// Reuse opens an existing formatted disk instead of formatting.
+	Reuse bool
+}
+
+// Server is one Swarm storage server: a fragment repository on a disk,
+// optionally exported over TCP.
+type Server struct {
+	store *server.Store
+	tcp   *server.TCPServer
+	d     disk.Disk
+}
+
+// NewServer creates (or reopens) a storage server.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.DiskBytes == 0 {
+		opts.DiskBytes = 256 << 20
+	}
+	if opts.FragmentSize == 0 {
+		opts.FragmentSize = server.DefaultFragmentSize
+	}
+	var (
+		d   disk.Disk
+		err error
+	)
+	if opts.DiskPath != "" {
+		d, err = disk.OpenFileDisk(opts.DiskPath, opts.DiskBytes)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d = disk.NewMemDisk(opts.DiskBytes)
+	}
+	var st *server.Store
+	if opts.Reuse {
+		st, err = server.Open(d)
+	} else {
+		st, err = server.Format(d, server.Config{FragmentSize: opts.FragmentSize})
+	}
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	s := &Server{store: st, d: d}
+	if opts.Listen != "" {
+		s.tcp, err = server.ListenAndServe(st, opts.Listen, opts.Logger)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Addr returns the TCP listen address, or "" for in-process servers.
+func (s *Server) Addr() string {
+	if s.tcp == nil {
+		return ""
+	}
+	return s.tcp.Addr()
+}
+
+// Stats describes the server's slot occupancy.
+func (s *Server) Stats() (fragmentSize, totalSlots, freeSlots, fragments int) {
+	st := s.store.Stats()
+	return st.FragmentSize, st.TotalSlots, st.FreeSlots, st.Fragments
+}
+
+// Close stops serving and releases the disk.
+func (s *Server) Close() error {
+	var err error
+	if s.tcp != nil {
+		err = s.tcp.Close()
+	}
+	if cerr := s.d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Server) String() string {
+	return fmt.Sprintf("swarm.Server(%s)", s.Addr())
+}

@@ -1,0 +1,120 @@
+// Package swarm is the public API of this Swarm implementation — a
+// reproduction of "The Swarm Scalable Storage System" (Hartman, Murdock,
+// Spalink; ICDCS 1999).
+//
+// Swarm provides scalable, reliable, cost-effective storage from a
+// cluster of simple storage servers. Clients batch their writes into an
+// append-only log striped across the servers with rotating parity; no
+// client ever synchronizes with another client, and no server ever talks
+// to another server. Services — a cleaner, atomic recovery units, a
+// logical disk, a block cache, and the Sting file system — stack on the
+// log.
+//
+// Typical use:
+//
+//	cluster, _ := swarm.NewLocalCluster(4, swarm.ServerOptions{})
+//	defer cluster.Close()
+//	client, _ := cluster.Connect(1)
+//	defer client.Close()
+//	fs, _ := client.Mount(swarm.FSConfig{})
+//	f, _ := fs.Create("/hello")
+//	f.WriteAt([]byte("world"), 0)
+//	f.Close()
+//	fs.Unmount()
+//
+// Servers can equally run as separate processes (cmd/swarmd) and be
+// reached over TCP via ConnectAddrs.
+package swarm
+
+import (
+	"swarm/internal/aru"
+	"swarm/internal/blockcache"
+	"swarm/internal/cleaner"
+	"swarm/internal/codec"
+	"swarm/internal/core"
+	"swarm/internal/ldisk"
+	"swarm/internal/service"
+	"swarm/internal/sting"
+	"swarm/internal/vfs"
+	"swarm/internal/wire"
+)
+
+// Re-exported identifier and core types. These aliases are the public
+// names; the implementation lives in internal packages.
+type (
+	// ClientID identifies a log owner.
+	ClientID = wire.ClientID
+	// ServerID identifies a storage server.
+	ServerID = wire.ServerID
+	// FID is a fragment identifier.
+	FID = wire.FID
+	// ServiceID identifies a service stacked on the log.
+	ServiceID = core.ServiceID
+	// BlockAddr names a block in the log.
+	BlockAddr = core.BlockAddr
+	// Log is a client's striped log (the core abstraction).
+	Log = core.Log
+	// Recovery is the state handed back when opening an existing log.
+	Recovery = core.Recovery
+	// Service is the interface of everything stacked on a log.
+	Service = service.Service
+	// Registry routes log events to services.
+	Registry = service.Registry
+	// Cleaner reclaims log space.
+	Cleaner = cleaner.Cleaner
+	// CleanerConfig tunes the cleaner.
+	CleanerConfig = cleaner.Config
+	// ARUManager provides atomic recovery units.
+	ARUManager = aru.Manager
+	// ARU is one atomic recovery unit.
+	ARU = aru.Unit
+	// LogicalDisk is the overwritable-block service.
+	LogicalDisk = ldisk.Disk
+	// BlockCache is the client-side block cache.
+	BlockCache = blockcache.Cache
+	// FS is a mounted Sting file system.
+	FS = sting.FS
+	// Codec transforms block payloads (compression, encryption).
+	Codec = codec.Codec
+	// FileSystem is the file-system interface (Sting and extfs).
+	FileSystem = vfs.FileSystem
+	// File is an open file handle.
+	File = vfs.File
+	// FileInfo describes a file.
+	FileInfo = vfs.FileInfo
+	// DirEntry is a directory listing entry.
+	DirEntry = vfs.DirEntry
+)
+
+// Codec constructors: the paper's compression and encryption services
+// (§2.2), pluggable into the logical disk via SetCodec.
+var (
+	// NewFlateCodec is the compression service (DEFLATE).
+	NewFlateCodec = codec.NewFlate
+	// NewAESCodec is the encryption service (AES-CTR, random nonces).
+	NewAESCodec = codec.NewAESCTR
+	// NewCodecChain composes codecs (compress, then encrypt).
+	NewCodecChain = codec.NewChain
+)
+
+// Re-exported file-system helpers.
+var (
+	// ReadFile reads a whole file.
+	ReadFile = vfs.ReadFile
+	// WriteFile creates a file with contents.
+	WriteFile = vfs.WriteFile
+	// MkdirAll creates a directory and parents.
+	MkdirAll = vfs.MkdirAll
+	// Walk visits a tree.
+	Walk = vfs.Walk
+)
+
+// Common errors re-exported for matching with errors.Is.
+var (
+	// ErrNotExist: path does not exist.
+	ErrNotExist = vfs.ErrNotExist
+	// ErrExist: path already exists.
+	ErrExist = vfs.ErrExist
+	// ErrLost: a fragment is unavailable and unreconstructable.
+	ErrLost = core.ErrLost
+)
