@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check vet build test race chaos bench-strict
+
+# The full pre-commit gate: static checks, full test suite, and a race
+# pass over the packages with real concurrency (the transport and the
+# striped-log core, including the chaos harness in the root package).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the concurrency-heavy layers plus the cluster-level
+# chaos/fault-injection tests in the root package.
+race:
+	$(GO) test -race ./internal/transport ./internal/core
+	$(GO) test -race -run 'TestChaos|TestDegradedWrites|TestClientClose' .
+
+# The chaos harness alone, under the race detector.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestDegradedWrites' .
+
+# Benchmark shape tests with the strict environment-sensitive
+# throughput-ratio assertions enabled (needs an unloaded machine).
+bench-strict:
+	SWARM_BENCH_STRICT=1 $(GO) test ./internal/bench

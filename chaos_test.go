@@ -1,0 +1,319 @@
+package swarm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"swarm/internal/transport"
+)
+
+// chaosCluster builds n in-process servers reached through
+// Resilient → Flaky → Local connections: the same stack a TCP client
+// gets, with a fault-injection layer in the middle.
+func chaosCluster(t *testing.T, n int, cfg transport.ResilientConfig) (*Client, []*transport.Flaky) {
+	t.Helper()
+	conns := make([]transport.ServerConn, n)
+	flaky := make([]*transport.Flaky, n)
+	for i := 0; i < n; i++ {
+		s, err := NewServer(ServerOptions{DiskBytes: 64 << 20, FragmentSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		flaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, 1))
+		conns[i] = transport.NewResilient(flaky[i], cfg)
+	}
+	c, err := connect(1, conns, ClientOptions{FragmentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, flaky
+}
+
+// chaosBlock derives a deterministic block body from (lbn, version).
+func chaosBlock(lbn uint64, version int, size int) []byte {
+	b := make([]byte, size)
+	var seed [16]byte
+	binary.LittleEndian.PutUint64(seed[0:], lbn)
+	binary.LittleEndian.PutUint64(seed[8:], uint64(version))
+	for i := range b {
+		b[i] = seed[i%16] ^ byte(i)
+	}
+	return b
+}
+
+// TestChaosSurvivesServerOutages runs a mixed read/write/cleaner
+// workload while servers are killed and restored, asserting zero data
+// loss throughout and full redundancy after RebuildServer.
+func TestChaosSurvivesServerOutages(t *testing.T) {
+	const (
+		nServers  = 5
+		nBlocks   = 96
+		blockSize = 2048
+	)
+	cfg := transport.ResilientConfig{
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		FailThreshold: 3,
+		OpenTimeout:   40 * time.Millisecond,
+		Seed:          7,
+	}
+	c, flaky := chaosCluster(t, nServers, cfg)
+	defer c.Close()
+
+	d, err := c.NewLogicalDisk(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln := c.StartCleaner(0, CleanerConfig{UtilizationThreshold: 0.9, MaxStripesPerPass: 2, Force: true})
+
+	content := make(map[uint64]int) // lbn → latest version written
+	write := func(lbn uint64, version int) {
+		t.Helper()
+		if err := d.Write(lbn, chaosBlock(lbn, version, blockSize)); err != nil {
+			t.Fatalf("write block %d v%d: %v", lbn, version, err)
+		}
+		content[lbn] = version
+	}
+	verifyAll := func(stage string) {
+		t.Helper()
+		for lbn, v := range content {
+			got, err := d.Read(lbn)
+			if err != nil {
+				t.Fatalf("%s: read block %d: %v", stage, lbn, err)
+			}
+			if !bytes.Equal(got, chaosBlock(lbn, v, blockSize)) {
+				t.Fatalf("%s: block %d corrupt", stage, lbn)
+			}
+		}
+	}
+
+	// Base load while everything is healthy.
+	for i := 0; i < nBlocks; i++ {
+		write(uint64(i), 0)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	version := 1
+
+	// Kill and restore servers one at a time, overwriting and reading
+	// through each outage; the cleaner runs mid-outage too.
+	for _, victim := range []int{1, 3} {
+		flaky[victim].SetDown(true)
+		for i := 0; i < nBlocks/2; i++ {
+			write(uint64(rng.Intn(nBlocks)), version)
+			version++
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatalf("sync with server %d down: %v", victim+1, err)
+		}
+		if _, err := cln.CleanOnce(); err != nil {
+			t.Fatalf("clean with server %d down: %v", victim+1, err)
+		}
+		verifyAll("during outage")
+
+		flaky[victim].SetDown(false)
+		// Let the breaker's open window lapse so the next call probes and
+		// closes the circuit.
+		time.Sleep(3 * cfg.OpenTimeout)
+		if _, err := c.RebuildServer(ServerID(victim + 1)); err != nil {
+			t.Fatalf("rebuild server %d: %v", victim+1, err)
+		}
+	}
+	if stats := c.Log().Stats(); stats.DegradedWrites == 0 {
+		t.Fatalf("chaos run never exercised degraded writes: %+v", stats)
+	}
+
+	// Probabilistic failures plus injected latency on one server; the
+	// retry layer absorbs them without surfacing errors.
+	flaky[0].SetFailureRate(0.02, 4242)
+	flaky[0].SetLatency(200 * time.Microsecond)
+	for i := 0; i < nBlocks; i++ {
+		write(uint64(rng.Intn(nBlocks)), version)
+		version++
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync under probabilistic chaos: %v", err)
+	}
+	flaky[0].SetFailureRate(0, 0)
+	flaky[0].SetLatency(0)
+
+	// Quiesce: rebuild every server, then everything must verify clean
+	// with full redundancy.
+	time.Sleep(3 * cfg.OpenTimeout)
+	if _, err := cln.CleanOnce(); err != nil {
+		t.Fatalf("final clean: %v", err)
+	}
+	for i := 0; i < nServers; i++ {
+		if _, err := c.RebuildServer(ServerID(i + 1)); err != nil {
+			t.Fatalf("final rebuild of server %d: %v", i+1, err)
+		}
+	}
+	if left := c.Log().DegradedFIDs(); len(left) != 0 {
+		t.Fatalf("degraded fragments remain after rebuild: %v", left)
+	}
+	verifyAll("final")
+	for _, s := range c.Log().Usage().Stripes() {
+		if u, _ := c.Log().Usage().Get(s); !u.Closed {
+			continue
+		}
+		if err := c.Log().VerifyStripe(s); err != nil {
+			t.Fatalf("stripe %d fails verification after rebuild: %v", s, err)
+		}
+	}
+}
+
+// TestDegradedWritesNotSerializedBehindDeadServer is the fail-fast
+// acceptance check: with one slow, dead server, writes bound for the
+// healthy servers must not queue behind the dead one's latency once the
+// breaker opens.
+func TestDegradedWritesNotSerializedBehindDeadServer(t *testing.T) {
+	const latency = 25 * time.Millisecond
+	cfg := transport.ResilientConfig{
+		MaxRetries:    -1, // isolate breaker behavior from retry backoff
+		FailThreshold: 2,
+		OpenTimeout:   time.Minute,
+		Seed:          7,
+	}
+	c, flaky := chaosCluster(t, 4, cfg)
+	defer c.Close()
+
+	flaky[2].SetDown(true)
+	flaky[2].SetLatency(latency)
+
+	payload := bytes.Repeat([]byte{5}, 1024)
+	start := time.Now()
+	syncs := 0
+	for i := 0; time.Since(start) < 8*latency; i++ {
+		if _, err := c.Log().AppendBlock(7, payload, nil); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if i%40 == 39 {
+			if err := c.Sync(); err != nil {
+				t.Fatalf("sync %d: %v", i, err)
+			}
+			syncs++
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The dead server saw at most FailThreshold slow calls before its
+	// circuit opened; everything after failed fast. Were each store to
+	// the dead server paying the injected latency, this many syncs of
+	// 40 KB against 16 KB fragments could not fit in the time budget.
+	h := c.Health()
+	if len(h) != 4 {
+		t.Fatalf("health reports %d servers, want 4", len(h))
+	}
+	dead := h[2]
+	if dead.State != "open" {
+		t.Fatalf("dead server's circuit is %q, want open", dead.State)
+	}
+	if dead.FastFails == 0 {
+		t.Fatal("no calls failed fast at the open circuit")
+	}
+	if st := c.Log().Stats(); st.DegradedWrites == 0 {
+		t.Fatalf("no degraded writes despite dead server: %+v", st)
+	}
+}
+
+// TestConnectAddrsToleratesDeadServer: a client must be able to OPEN a
+// degraded cluster, not just survive a server dying mid-session — reads
+// reconstruct around the missing member and Health reports the outage.
+func TestConnectAddrsToleratesDeadServer(t *testing.T) {
+	var addrs []string
+	var servers []*Server
+	for i := 0; i < 4; i++ {
+		s, err := NewServer(ServerOptions{DiskBytes: 32 << 20, FragmentSize: 64 << 10, Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	c1, err := ConnectAddrs(1, addrs, ClientOptions{FragmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("degraded connect"), 64)
+	var blocks []BlockAddr
+	for i := 0; i < 30; i++ {
+		addr, err := c1.Log().AppendBlock(7, payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, addr)
+	}
+	if err := c1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	servers[2].Close()
+	c2, err := ConnectAddrs(1, addrs, ClientOptions{
+		FragmentSize: 64 << 10,
+		Resilience:   ResilientConfig{RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("connect to degraded cluster: %v", err)
+	}
+	defer c2.Close()
+	for i, addr := range blocks {
+		got, err := c2.Log().Read(addr, 0, uint32(len(payload)))
+		if err != nil {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("degraded read %d mismatch", i)
+		}
+	}
+	h := c2.Health()
+	if len(h) != 4 {
+		t.Fatalf("health reports %d servers, want 4", len(h))
+	}
+	if h[2].Failures == 0 {
+		t.Fatalf("dead server shows no failures: %+v", h[2])
+	}
+}
+
+// TestClientCloseToleratesDownedServer is the regression test for
+// Client.Close: shutting down over a dead server must not report an
+// error — the local resources are released either way.
+func TestClientCloseToleratesDownedServer(t *testing.T) {
+	conns := make([]transport.ServerConn, 3)
+	flaky := make([]*transport.Flaky, 3)
+	for i := 0; i < 3; i++ {
+		s, err := NewServer(ServerOptions{DiskBytes: 32 << 20, FragmentSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		flaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, 1))
+		conns[i] = flaky[i]
+	}
+	c, err := connect(1, conns, ClientOptions{FragmentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Log().AppendBlock(7, []byte("still here"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	flaky[2].SetDown(true)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close over a downed server: %v", err)
+	}
+}

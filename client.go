@@ -51,6 +51,14 @@ type ClientOptions struct {
 	// so other clients cannot read or delete this log's data (§2.3.2).
 	// Use Client.GrantAccess to admit other clients later.
 	Protect bool
+	// Resilience tunes the retry/circuit-breaker layer that ConnectAddrs
+	// wraps around every TCP connection; the zero value selects the
+	// defaults documented on ResilientConfig. In-process clusters connect
+	// directly and ignore this.
+	Resilience ResilientConfig
+	// DisableResilience connects over raw TCP with no retries, breakers,
+	// or health tracking (mainly for benchmarking the bare protocol).
+	DisableResilience bool
 }
 
 // Client is one Swarm client: the owner of one striped log, plus the
@@ -72,12 +80,26 @@ type Client struct {
 func ConnectAddrs(id ClientID, addrs []string, opts ClientOptions) (*Client, error) {
 	conns := make([]transport.ServerConn, 0, len(addrs))
 	for i, addr := range addrs {
-		sc, err := transport.DialTCP(ServerID(i+1), addr, id, opts.PipelineDepth)
-		if err != nil {
+		var sc transport.ServerConn
+		tc, err := transport.DialTCP(ServerID(i+1), addr, id, opts.PipelineDepth)
+		switch {
+		case err == nil:
+			sc = tc
+		case !opts.DisableResilience && errors.Is(err, transport.ErrUnavailable):
+			// The server is unreachable right now, not misconfigured: a
+			// degraded cluster must still be connectable (reads
+			// reconstruct and writes degrade around the dead member), so
+			// fall back to a lazily-dialed connection and let the
+			// circuit breaker track the outage until the server answers.
+			sc = transport.NewTCPConn(ServerID(i+1), addr, id, opts.PipelineDepth)
+		default:
 			for _, c := range conns {
 				c.Close()
 			}
 			return nil, fmt.Errorf("connect server %d (%s): %w", i+1, addr, err)
+		}
+		if !opts.DisableResilience {
+			sc = transport.NewResilient(sc, opts.Resilience)
 		}
 		conns = append(conns, sc)
 	}
@@ -252,17 +274,33 @@ func (c *Client) RebuildServer(id ServerID) (int, error) {
 	return c.log.RebuildServer(id)
 }
 
+// Health reports per-server circuit-breaker state and retry/failure
+// counters for connections wrapped by the resilient transport layer
+// (ConnectAddrs wraps every TCP connection unless DisableResilience is
+// set). Connections without a resilience layer report nothing, so an
+// in-process cluster returns an empty slice.
+func (c *Client) Health() []Health {
+	return transport.HealthOf(c.conns)
+}
+
 // Sync flushes the log.
 func (c *Client) Sync() error { return c.log.Sync() }
 
 // Close syncs the log, stops the cleaner, and releases connections.
+// A connection whose server is down closes with ErrUnavailable; that is
+// not a failure of Close — the local resources are released either way,
+// and a client must be able to shut down cleanly over a dead server.
 func (c *Client) Close() error {
 	if c.cleaner != nil {
 		c.cleaner.Stop()
 	}
 	err := c.log.Close()
 	for _, sc := range c.conns {
-		if cerr := sc.Close(); err == nil && !errors.Is(cerr, transport.ErrUnavailable) {
+		cerr := sc.Close()
+		if cerr == nil || errors.Is(cerr, transport.ErrUnavailable) {
+			continue
+		}
+		if err == nil {
 			err = cerr
 		}
 	}

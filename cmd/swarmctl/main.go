@@ -11,6 +11,7 @@
 //	swarmctl -servers ... -client 1 list
 //	swarmctl -servers ... -client 1 verify         # verify all stripe parity
 //	swarmctl -servers ... -client 1 rebuild <n>    # rebuild replaced server n (1-based)
+//	swarmctl -servers ... -client 1 health         # per-server circuit state and degraded-write counters
 package main
 
 import (
@@ -34,7 +35,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild ...")
+		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild|health ...")
 		os.Exit(2)
 	}
 	if err := run(strings.Split(*servers, ","), wire.ClientID(*client), *frag, flag.Args()); err != nil {
@@ -181,6 +182,30 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 			return fmt.Errorf("%d bad stripes", bad)
 		}
 		fmt.Printf("%d stripes verified\n", len(stripes))
+		return nil
+
+	case "health":
+		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		// Exercise every server once so the printed circuit state reflects
+		// current reachability, not just dial-time state.
+		for _, sc := range c.Log().Servers() {
+			sc.Ping()
+		}
+		for i, h := range c.Health() {
+			addr := ""
+			if i < len(addrs) {
+				addr = strings.TrimSpace(addrs[i])
+			}
+			fmt.Printf("server %d (%s): circuit %s, %d ops, %d failures (%d consecutive), %d retries, %d trips, %d fast-fails\n",
+				h.Server, addr, h.State, h.Ops, h.Failures, h.ConsecutiveFailures, h.Retries, h.Trips, h.FastFails)
+		}
+		st := c.Log().Stats()
+		fmt.Printf("log: %d degraded writes in %d stripes, %d preallocs skipped, %d deletes deferred\n",
+			st.DegradedWrites, st.DegradedStripes, st.DegradedPreallocs, st.DeferredDeletes)
 		return nil
 
 	case "rebuild":

@@ -191,3 +191,14 @@ func TestSwarmctlRebuild(t *testing.T) {
 		t.Fatalf("verify after rebuild = %q", out)
 	}
 }
+
+func TestSwarmctlHealth(t *testing.T) {
+	addrs := startServers(t, 2)
+	out := ctl(t, addrs, "health")
+	if strings.Count(out, "circuit closed") != 2 {
+		t.Fatalf("health = %q", out)
+	}
+	if !strings.Contains(out, "degraded writes") || !strings.Contains(out, "deletes deferred") {
+		t.Fatalf("health counters missing: %q", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 	"time"
 
@@ -114,6 +115,8 @@ type Log struct {
 	registered map[ServiceID]bool
 	locations  map[wire.FID]wire.ServerID
 	inflight   map[wire.FID][]byte
+	degraded   map[wire.FID]wire.ServerID // stores skipped: server unreachable, stripe still parity-covered
+	pendingDel map[wire.FID]wire.ServerID // reclaim deletes deferred: server unreachable when its stripe died
 	prealloced map[uint64]bool // stripes whose slots have been reserved
 	needPre    []uint64        // stripes awaiting preallocation
 	usage      *UsageTable
@@ -143,6 +146,20 @@ type LogStats struct {
 	Checkpoints       int64
 	Reconstructions   int64
 	BroadcastFallback int64
+	// DegradedWrites counts fragment stores skipped because the server
+	// was unreachable while the stripe stayed parity-covered; the write
+	// path degrades instead of failing (RebuildServer restores them).
+	DegradedWrites int64
+	// DegradedStripes counts distinct stripes that entered degraded mode.
+	DegradedStripes int64
+	// DegradedPreallocs counts stripe-slot reservations skipped because
+	// the slot's server was unreachable.
+	DegradedPreallocs int64
+	// DeferredDeletes counts reclaim-time fragment deletions deferred
+	// because the fragment's server was unreachable; the stripe is still
+	// reclaimed (its data has moved) and the orphan fragment is deleted
+	// once the server answers again (FlushDeletes, RebuildServer).
+	DeferredDeletes int64
 }
 
 // Open opens (or recovers) a client's log and returns the recovery
@@ -186,6 +203,8 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		registered:  make(map[ServiceID]bool),
 		locations:   make(map[wire.FID]wire.ServerID),
 		inflight:    make(map[wire.FID][]byte),
+		degraded:    make(map[wire.FID]wire.ServerID),
+		pendingDel:  make(map[wire.FID]wire.ServerID),
 		prealloced:  make(map[uint64]bool),
 		usage:       NewUsageTable(),
 		recon:       newFragCache(max(8, cfg.ReadaheadFragments)),
@@ -583,10 +602,20 @@ func (l *Log) ship(frags []sealedFrag) {
 				}
 			}
 			if err != nil {
-				// Keep the payload in the read-your-writes map: the
+				if l.noteDegraded(f.fid, f.conn.ID(), err) {
+					// Degraded write (§2.1.2, §3.3): the server is
+					// unreachable but the stripe's parity still covers the
+					// missing member. The payload stays in the
+					// read-your-writes map, remote readers reconstruct
+					// from the stripe, and RebuildServer restores the
+					// fragment once the server is replaced or revived.
+					return
+				}
+				// Redundancy exhausted (no parity, a second member of the
+				// same stripe missing, or a definitive server error):
+				// keep the payload in the read-your-writes map — the
 				// fragment is not durable (Sync will report that), but
-				// local reads keep working and the stripe's parity may
-				// still cover it for remote readers.
+				// local reads keep working.
 				l.setErr(fmt.Errorf("store fragment %v on server %d: %w", f.fid, f.conn.ID(), err))
 				return
 			}
@@ -597,10 +626,53 @@ func (l *Log) ship(frags []sealedFrag) {
 	}
 }
 
+// noteDegraded records a failed fragment store as a degraded write when
+// the stripe stays parity-covered. Parity tolerates exactly one missing
+// member per stripe, so the first unreachable-server failure in a stripe
+// degrades the write; a second (or any failure without parity, or any
+// definitive server error like no-space) exhausts redundancy and the
+// caller must surface it. Returns whether the failure was absorbed.
+func (l *Log) noteDegraded(fid wire.FID, server wire.ServerID, err error) bool {
+	if !l.parity || !errors.Is(err, transport.ErrUnavailable) {
+		return false
+	}
+	stripe := l.stripeOf(fid.Seq())
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for d := range l.degraded {
+		if d != fid && l.stripeOf(d.Seq()) == stripe {
+			return false // another member already missing: stripe at risk
+		}
+	}
+	if _, dup := l.degraded[fid]; !dup {
+		l.degraded[fid] = server
+		l.stats.DegradedWrites++
+		l.stats.DegradedStripes++
+	}
+	return true
+}
+
+// DegradedFIDs returns the fragments whose store was skipped because
+// their server was unreachable, in sequence order. Their stripes remain
+// parity-covered; RebuildServer (or ReclaimStripe) clears the entries it
+// resolves.
+func (l *Log) DegradedFIDs() []wire.FID {
+	l.mu.Lock()
+	out := make([]wire.FID, 0, len(l.degraded))
+	for fid := range l.degraded {
+		out = append(out, fid)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // drainPreallocs reserves slots for any newly opened stripes. Called
 // outside the log mutex because it talks to servers. A failed
 // preallocation is recorded like an asynchronous store failure: the
-// stripe is no more at risk than it would be without preallocation.
+// stripe is no more at risk than it would be without preallocation. An
+// unreachable server is tolerated — its member will surface as a
+// degraded write when the store is attempted.
 func (l *Log) drainPreallocs() {
 	l.mu.Lock()
 	stripes := l.needPre
@@ -611,10 +683,18 @@ func (l *Log) drainPreallocs() {
 		for i := 0; i < l.width; i++ {
 			fid := wire.MakeFID(l.client, base+uint64(i))
 			conn := l.serverFor(stripe, i)
-			if err := conn.Prealloc(fid); err != nil && !wire.IsStatus(err, wire.StatusExists) {
-				l.setErr(fmt.Errorf("prealloc fragment %v on server %d: %w", fid, conn.ID(), err))
-				return
+			err := conn.Prealloc(fid)
+			if err == nil || wire.IsStatus(err, wire.StatusExists) {
+				continue
 			}
+			if errors.Is(err, transport.ErrUnavailable) {
+				l.mu.Lock()
+				l.stats.DegradedPreallocs++
+				l.mu.Unlock()
+				continue
+			}
+			l.setErr(fmt.Errorf("prealloc fragment %v on server %d: %w", fid, conn.ID(), err))
+			return
 		}
 	}
 }
@@ -777,15 +857,28 @@ func (l *Log) ReclaimStripe(stripe uint64) error {
 			// Try the recorded location before giving up (placement may
 			// predate a configuration change).
 			if alt := l.lookupConn(fid); alt != nil && alt != conn {
-				err = alt.Delete(fid)
+				conn, err = alt, alt.Delete(fid)
 			}
 		}
-		if err != nil && !wire.IsStatus(err, wire.StatusNotFound) && firstErr == nil {
-			firstErr = fmt.Errorf("delete fragment %v: %w", fid, err)
+		if err != nil && !wire.IsStatus(err, wire.StatusNotFound) {
+			if errors.Is(err, transport.ErrUnavailable) {
+				// The server is unreachable, not refusing: the stripe's
+				// data has already moved, so reclaim proceeds and the
+				// orphan fragment is deleted once the server answers
+				// again (FlushDeletes / RebuildServer).
+				l.mu.Lock()
+				l.pendingDel[fid] = conn.ID()
+				l.stats.DeferredDeletes++
+				l.mu.Unlock()
+			} else if firstErr == nil {
+				firstErr = fmt.Errorf("delete fragment %v: %w", fid, err)
+			}
 		}
 		l.mu.Lock()
 		delete(l.locations, fid)
 		delete(l.prealloced, stripe)
+		delete(l.degraded, fid)
+		delete(l.inflight, fid)
 		l.mu.Unlock()
 		l.recon.drop(fid)
 	}
@@ -794,6 +887,35 @@ func (l *Log) ReclaimStripe(stripe uint64) error {
 	}
 	l.usage.Drop(stripe)
 	return nil
+}
+
+// FlushDeletes retries fragment deletions deferred by ReclaimStripe
+// while a server was unreachable, returning how many remain pending.
+// Orphans are harmless to durability — their stripes are already
+// reclaimed — but they occupy slots and would confuse a server listing,
+// so RebuildServer flushes them before surveying.
+func (l *Log) FlushDeletes() int {
+	l.mu.Lock()
+	pending := make(map[wire.FID]wire.ServerID, len(l.pendingDel))
+	for fid, id := range l.pendingDel {
+		pending[fid] = id
+	}
+	l.mu.Unlock()
+	for fid, id := range pending {
+		conn, ok := l.byServer[id]
+		if !ok {
+			continue
+		}
+		err := conn.Delete(fid)
+		if err == nil || wire.IsStatus(err, wire.StatusNotFound) {
+			l.mu.Lock()
+			delete(l.pendingDel, fid)
+			l.mu.Unlock()
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pendingDel)
 }
 
 func (l *Log) lookupConn(fid wire.FID) transport.ServerConn {

@@ -570,6 +570,53 @@ func TestReclaimStripe(t *testing.T) {
 	}
 }
 
+func TestReclaimStripeDefersDeletesOnDeadServer(t *testing.T) {
+	// Reclaiming a stripe while one member's server is down must not
+	// wedge: the data has already moved, so the stripe is dropped and the
+	// orphan delete is deferred until the server answers again.
+	c := newTestCluster(t, 3)
+	l, _ := c.open(t, Config{})
+	defer l.Close()
+	for i := 0; i < 60; i++ {
+		mustAppend(t, l, 7, blockPattern(i, 600))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stripes := l.usage.Stripes()
+	if len(stripes) < 2 {
+		t.Fatal("need at least 2 stripes")
+	}
+	victim := stripes[0]
+	// Find which server holds member 0 of the victim stripe and kill it.
+	deadIdx := int(victim % uint64(len(c.flaky)))
+	c.flaky[deadIdx].SetDown(true)
+	if err := l.ReclaimStripe(victim); err != nil {
+		t.Fatalf("reclaim with a dead server: %v", err)
+	}
+	if _, ok := l.usage.Get(victim); ok {
+		t.Fatal("usage entry survives reclaim")
+	}
+	if l.Stats().DeferredDeletes == 0 {
+		t.Fatal("no deferred deletes recorded")
+	}
+	if left := l.FlushDeletes(); left == 0 {
+		t.Fatal("flush drained deletes while the server is still down")
+	}
+	// Server returns: the orphan is deleted on retry.
+	c.flaky[deadIdx].SetDown(false)
+	if left := l.FlushDeletes(); left != 0 {
+		t.Fatalf("%d deletes still pending after server returned", left)
+	}
+	base := victim * uint64(l.width)
+	for i := 0; i < l.width; i++ {
+		fid := wire.MakeFID(testClient, base+uint64(i))
+		if found := transport.Broadcast(l.servers, fid); len(found) != 0 {
+			t.Fatalf("fragment %v survives on %d servers", fid, len(found))
+		}
+	}
+}
+
 func TestCheckpointFloor(t *testing.T) {
 	c := newTestCluster(t, 2)
 	l, _ := c.open(t, Config{})
@@ -1024,9 +1071,11 @@ func TestOpenRejectsFragmentSizeMismatch(t *testing.T) {
 }
 
 func TestFailedStoreKeepsLocalReads(t *testing.T) {
-	// One server dies mid-write: Sync reports the durability failure,
-	// but every block stays readable — locally from the retained
-	// in-flight copies, and the healthy fragments are on the servers.
+	// One server dies mid-write: with parity on, the write path degrades
+	// instead of failing — Sync succeeds because every stripe is still
+	// parity-covered with one member missing — and every block stays
+	// readable, locally from the retained in-flight copies and remotely
+	// via reconstruction.
 	c := newTestCluster(t, 4)
 	l, _ := c.open(t, Config{})
 	defer l.Close()
@@ -1036,8 +1085,15 @@ func TestFailedStoreKeepsLocalReads(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		addrs = append(addrs, mustAppend(t, l, 7, blockPattern(i, 600)))
 	}
-	if err := l.Sync(); err == nil {
-		t.Fatal("sync succeeded with a dead server")
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync did not degrade around the dead server: %v", err)
+	}
+	stats := l.Stats()
+	if stats.DegradedWrites == 0 || stats.DegradedStripes == 0 {
+		t.Fatalf("no degraded writes recorded: %+v", stats)
+	}
+	if len(l.DegradedFIDs()) == 0 {
+		t.Fatal("no degraded FIDs recorded")
 	}
 	for i, addr := range addrs {
 		got, err := l.Read(addr, 0, 600)
@@ -1048,10 +1104,26 @@ func TestFailedStoreKeepsLocalReads(t *testing.T) {
 			t.Fatalf("read %d mismatch", i)
 		}
 	}
-	// After the server returns, rebuilding restores full durability.
+	// After the server returns, rebuilding restores full durability and
+	// clears the degraded set.
 	c.flaky[2].SetDown(false)
-	l.ClearErr()
-	if _, err := l.RebuildServer(3); err != nil {
+	rebuilt, err := l.RebuildServer(3)
+	if err != nil {
 		t.Fatalf("rebuild after outage: %v", err)
+	}
+	if rebuilt == 0 {
+		t.Fatal("rebuild restored nothing")
+	}
+	if left := l.DegradedFIDs(); len(left) != 0 {
+		t.Fatalf("degraded FIDs remain after rebuild: %v", left)
+	}
+	// Every stripe verifies clean against the servers afterwards.
+	for _, s := range l.Usage().Stripes() {
+		if u, _ := l.Usage().Get(s); !u.Closed {
+			continue
+		}
+		if err := l.VerifyStripe(s); err != nil {
+			t.Fatalf("stripe %d after rebuild: %v", s, err)
+		}
 	}
 }

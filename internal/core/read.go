@@ -160,6 +160,22 @@ func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 		l.mu.Unlock()
 		return h, payload, nil
 	}
+	// Sealed fragments whose store is in flight — or was skipped as a
+	// degraded write — are served from the read-your-writes map, so the
+	// cleaner and recovery never pay a reconstruction for data this
+	// client still holds.
+	if p, ok := l.inflight[fid]; ok {
+		seq := fid.Seq()
+		h := Header{
+			Kind: FragData, Width: uint8(l.width), Index: uint8(seq % uint64(l.width)),
+			FID: fid, StripeID: l.stripeOf(seq), DataLen: uint32(len(p)),
+			PayloadCRC: crc32.ChecksumIEEE(p),
+		}
+		l.fillGroup(&h)
+		payload := append([]byte(nil), p...)
+		l.mu.Unlock()
+		return h, payload, nil
+	}
 	l.mu.Unlock()
 
 	if f, ok := l.recon.get(fid); ok {

@@ -21,6 +21,16 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: server %d not in configuration", ErrConfig, id)
 	}
+	// Clear out deletions deferred while servers were unreachable: their
+	// stripes are already reclaimed, so any orphan still listed would be
+	// mistaken for a live stripe member below.
+	l.FlushDeletes()
+	l.mu.Lock()
+	stale := make(map[wire.FID]bool, len(l.pendingDel))
+	for fid := range l.pendingDel {
+		stale[fid] = true
+	}
+	l.mu.Unlock()
 	// What the server already has.
 	present := make(map[wire.FID]bool)
 	fids, err := conn.List(l.client)
@@ -28,9 +38,14 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 		return 0, fmt.Errorf("list server %d: %w", id, err)
 	}
 	for _, fid := range fids {
-		present[fid] = true
+		if !stale[fid] {
+			present[fid] = true
+		}
 	}
-	// What exists anywhere (the stripe population).
+	// What exists anywhere (the stripe population), including fragments
+	// this client failed to store while the server was unreachable
+	// (degraded writes): those exist logically and are reconstructable
+	// from their stripe's parity.
 	known := make(map[uint64]bool)
 	for _, sc := range l.servers {
 		all, err := sc.List(l.client)
@@ -38,9 +53,16 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 			continue
 		}
 		for _, fid := range all {
-			known[fid.Seq()] = true
+			if !stale[fid] {
+				known[fid.Seq()] = true
+			}
 		}
 	}
+	l.mu.Lock()
+	for fid := range l.degraded {
+		known[fid.Seq()] = true
+	}
+	l.mu.Unlock()
 
 	rebuilt := 0
 	for stripe := range l.stripesOf(known) {
@@ -56,7 +78,10 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 			if !l.stripeKnown(known, stripe, fid.Seq()) {
 				continue
 			}
-			h, payload, err := l.reconstructFragment(fid)
+			// FetchFragment serves degraded writes from the local
+			// read-your-writes copy and reconstructs everything else from
+			// the stripe's surviving members.
+			h, payload, err := l.FetchFragment(fid)
 			if err != nil {
 				return rebuilt, fmt.Errorf("reconstruct %v: %w", fid, err)
 			}
@@ -71,6 +96,8 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 			}
 			l.mu.Lock()
 			l.locations[fid] = id
+			delete(l.degraded, fid)
+			delete(l.inflight, fid)
 			l.mu.Unlock()
 			rebuilt++
 		}

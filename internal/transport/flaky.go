@@ -1,15 +1,20 @@
 package transport
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"swarm/internal/wire"
 )
 
 // Flaky wraps a ServerConn for failure injection in tests: it can be
 // brought down entirely (every call fails with ErrUnavailable, as a
-// crashed server would) or configured to fail the next N calls.
+// crashed server would), configured to fail the next N calls, made to
+// fail each call with a seeded probability, or given injected latency —
+// the chaos-harness modes exercised by the fault-tolerance tests.
 type Flaky struct {
 	inner ServerConn
 	down  atomic.Bool
@@ -17,7 +22,11 @@ type Flaky struct {
 	mu        sync.Mutex
 	failNext  int
 	failErr   error
+	failRate  float64
+	rng       *rand.Rand
+	latency   time.Duration
 	callCount atomic.Int64
+	failCount atomic.Int64
 }
 
 var _ ServerConn = (*Flaky)(nil)
@@ -39,19 +48,53 @@ func (f *Flaky) FailNext(n int, err error) {
 	f.failErr = err
 }
 
+// SetFailureRate makes every call fail with probability p (an
+// ErrUnavailable, as a lossy network would produce), drawn from a source
+// seeded with seed so chaos runs are reproducible. p <= 0 disables.
+func (f *Flaky) SetFailureRate(p float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRate = p
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetLatency injects a fixed delay before every call — including calls
+// that will fail because the server is down, modeling the timeout cost a
+// client pays talking to a hung peer. 0 disables.
+func (f *Flaky) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
 // Calls returns how many operations were attempted (including failed).
 func (f *Flaky) Calls() int64 { return f.callCount.Load() }
 
+// Failures returns how many operations were failed by injection.
+func (f *Flaky) Failures() int64 { return f.failCount.Load() }
+
 func (f *Flaky) gate() error {
 	f.callCount.Add(1)
+	f.mu.Lock()
+	lat := f.latency
+	f.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
 	if f.down.Load() {
+		f.failCount.Add(1)
 		return ErrUnavailable
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failNext > 0 {
 		f.failNext--
+		f.failCount.Add(1)
 		return f.failErr
+	}
+	if f.failRate > 0 && f.rng.Float64() < f.failRate {
+		f.failCount.Add(1)
+		return fmt.Errorf("%w: injected failure", ErrUnavailable)
 	}
 	return nil
 }
@@ -155,5 +198,13 @@ func (f *Flaky) Ping() error {
 	return f.inner.Ping()
 }
 
-// Close implements ServerConn.
-func (f *Flaky) Close() error { return f.inner.Close() }
+// Close implements ServerConn. The inner connection's resources are
+// always released, but closing a downed server reports ErrUnavailable —
+// matching what a real transport sees when the peer crashed.
+func (f *Flaky) Close() error {
+	err := f.inner.Close()
+	if f.down.Load() {
+		return ErrUnavailable
+	}
+	return err
+}

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swarm/internal/wire"
+)
+
+func TestFlakyFailureRateIsSeededAndBounded(t *testing.T) {
+	run := func(seed int64) (failures int64) {
+		fl := NewFlaky(NewLocal(1, newStore(t), 1))
+		fl.SetFailureRate(0.3, seed)
+		for i := 0; i < 500; i++ {
+			err := fl.Ping()
+			if err != nil && !errors.Is(err, ErrUnavailable) {
+				t.Fatalf("injected failure has wrong class: %v", err)
+			}
+		}
+		return fl.Failures()
+	}
+	a := run(42)
+	if a == 0 || a == 500 {
+		t.Fatalf("failure rate 0.3 produced %d/500 failures", a)
+	}
+	// Same seed, same call sequence → identical chaos run.
+	if b := run(42); b != a {
+		t.Fatalf("seeded runs diverged: %d vs %d", a, b)
+	}
+	// Rough sanity on the rate: expect ~150, allow wide slack.
+	if a < 75 || a > 250 {
+		t.Fatalf("failure count %d/500 implausible for p=0.3", a)
+	}
+}
+
+func TestFlakyFailureRateDisable(t *testing.T) {
+	fl := NewFlaky(NewLocal(1, newStore(t), 1))
+	fl.SetFailureRate(1, 1)
+	if err := fl.Ping(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("p=1 ping: %v", err)
+	}
+	fl.SetFailureRate(0, 1)
+	if err := fl.Ping(); err != nil {
+		t.Fatalf("p=0 ping: %v", err)
+	}
+}
+
+func TestFlakyInjectedLatency(t *testing.T) {
+	fl := NewFlaky(NewLocal(1, newStore(t), 1))
+	fl.SetLatency(30 * time.Millisecond)
+	start := time.Now()
+	if err := fl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("ping took %v, want >= 30ms", d)
+	}
+	// Latency applies even to calls that fail: a hung peer charges the
+	// client its timeout before the error surfaces.
+	fl.SetDown(true)
+	start = time.Now()
+	if err := fl.Ping(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("down ping: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("down ping took %v, want >= 30ms", d)
+	}
+	fl.SetLatency(0)
+	fl.SetDown(false)
+	if err := fl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyCloseReportsDownButReleasesInner(t *testing.T) {
+	st := newStore(t)
+	fl := NewFlaky(NewLocal(1, st, 1))
+	fl.SetDown(true)
+	if err := fl.Close(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("close of downed conn: %v", err)
+	}
+	// The wrapper still counts injected failures distinctly from calls.
+	fl2 := NewFlaky(NewLocal(1, st, 1))
+	fl2.SetDown(true)
+	if err := fl2.Store(wire.MakeFID(1, 0), []byte{1}, false, nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("store: %v", err)
+	}
+	if fl2.Calls() != 1 || fl2.Failures() != 1 {
+		t.Fatalf("calls=%d failures=%d, want 1/1", fl2.Calls(), fl2.Failures())
+	}
+}

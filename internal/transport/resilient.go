@@ -1,0 +1,412 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"swarm/internal/wire"
+)
+
+// ResilientConfig tunes the retry and circuit-breaker behavior of a
+// Resilient connection. The zero value selects the defaults noted on each
+// field.
+type ResilientConfig struct {
+	// MaxRetries is how many times a transiently failing operation is
+	// retried (total attempts = MaxRetries+1). Server-originated
+	// *wire.StatusError responses are authoritative and never retried.
+	// Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// attempt. Default 5ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay. Default 250ms.
+	RetryMax time.Duration
+	// FailThreshold is the number of consecutive transient failures
+	// (counting individual attempts) that opens the circuit. Default 4.
+	FailThreshold int
+	// OpenTimeout is how long an open circuit rejects calls outright
+	// before a probe is allowed through. Default 1s.
+	OpenTimeout time.Duration
+	// Seed seeds the backoff jitter source, so chaos runs are
+	// reproducible. 0 uses a fixed default.
+	Seed int64
+
+	// Test hooks (package-internal): fake time and sleep.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func (cfg ResilientConfig) withDefaults() ResilientConfig {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 5 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 250 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 4
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+	return cfg
+}
+
+// Breaker states. Closed admits calls; open rejects them instantly (a
+// dead server must not stall every stripe behind its timeout); half-open
+// admits a single Ping probe that decides between the two.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func stateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Health is a snapshot of one server connection's failure-handling state.
+type Health struct {
+	Server wire.ServerID
+	// State is the circuit state: "closed", "open", or "half-open".
+	State string
+	// Ops counts operations started (not individual attempts).
+	Ops int64
+	// Failures counts transient attempt failures.
+	Failures int64
+	// Retries counts retried attempts.
+	Retries int64
+	// Trips counts closed→open transitions.
+	Trips int64
+	// FastFails counts calls rejected without touching the network
+	// because the circuit was open.
+	FastFails int64
+	// ConsecutiveFailures is the current run of transient failures.
+	ConsecutiveFailures int
+}
+
+// Resilient wraps a ServerConn with per-operation retries (exponential
+// backoff with jitter), transient/permanent error classification, and a
+// per-server circuit breaker, so every layer stacked on the transport
+// inherits recovery-aware RPC. Safe for concurrent use.
+type Resilient struct {
+	inner ServerConn
+	cfg   ResilientConfig
+
+	mu          sync.Mutex
+	state       int
+	consec      int
+	openedUntil time.Time
+	probing     bool
+	rng         *rand.Rand
+
+	ops, failures, retries, trips, fastFails int64
+}
+
+var _ ServerConn = (*Resilient)(nil)
+
+// NewResilient wraps inner with retry and circuit-breaker behavior.
+func NewResilient(inner ServerConn, cfg ResilientConfig) *Resilient {
+	cfg = cfg.withDefaults()
+	return &Resilient{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Inner returns the wrapped connection (for tests and diagnostics).
+func (r *Resilient) Inner() ServerConn { return r.inner }
+
+// Health returns a snapshot of the connection's circuit state and
+// counters.
+func (r *Resilient) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Health{
+		Server:              r.inner.ID(),
+		State:               stateName(r.state),
+		Ops:                 r.ops,
+		Failures:            r.failures,
+		Retries:             r.retries,
+		Trips:               r.trips,
+		FastFails:           r.fastFails,
+		ConsecutiveFailures: r.consec,
+	}
+}
+
+// isTransient reports whether err could plausibly succeed on retry. A
+// *wire.StatusError is the server's authoritative answer — the request
+// was delivered and processed — so it is never retried; everything else
+// (ErrUnavailable, socket errors, timeouts) is a transport-level failure.
+func isTransient(err error) bool {
+	var se *wire.StatusError
+	return err != nil && !errors.As(err, &se)
+}
+
+// admit enforces the circuit breaker before an attempt touches the
+// network. In half-open state the first caller sends a Ping probe; its
+// outcome closes or re-opens the circuit. Concurrent callers fail fast
+// while the probe is in flight.
+func (r *Resilient) admit(op string) error {
+	r.mu.Lock()
+	switch r.state {
+	case breakerClosed:
+		r.mu.Unlock()
+		return nil
+	case breakerOpen:
+		if r.cfg.now().Before(r.openedUntil) {
+			r.fastFails++
+			r.mu.Unlock()
+			return fmt.Errorf("%w: server %d %s: circuit open, failing fast", ErrUnavailable, r.inner.ID(), op)
+		}
+		r.state = breakerHalfOpen
+	}
+	if r.probing {
+		r.fastFails++
+		r.mu.Unlock()
+		return fmt.Errorf("%w: server %d %s: circuit half-open, probe in flight", ErrUnavailable, r.inner.ID(), op)
+	}
+	r.probing = true
+	r.mu.Unlock()
+
+	perr := r.inner.Ping()
+	r.mu.Lock()
+	r.probing = false
+	if isTransient(perr) {
+		r.state = breakerOpen
+		r.openedUntil = r.cfg.now().Add(r.cfg.OpenTimeout)
+		r.mu.Unlock()
+		return fmt.Errorf("%w: server %d %s: probe failed: %v", ErrUnavailable, r.inner.ID(), op, perr)
+	}
+	// The server answered — even an error status proves liveness.
+	r.state = breakerClosed
+	r.consec = 0
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Resilient) onSuccess() {
+	r.mu.Lock()
+	r.consec = 0
+	r.state = breakerClosed
+	r.mu.Unlock()
+}
+
+func (r *Resilient) onFailure() {
+	r.mu.Lock()
+	r.failures++
+	r.consec++
+	if r.state == breakerClosed && r.consec >= r.cfg.FailThreshold {
+		r.state = breakerOpen
+		r.openedUntil = r.cfg.now().Add(r.cfg.OpenTimeout)
+		r.trips++
+	}
+	r.mu.Unlock()
+}
+
+// backoff returns the delay before retry number attempt (0-based), using
+// exponential growth with jitter in [d/2, d] so synchronized clients
+// don't hammer a recovering server in lockstep.
+func (r *Resilient) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << uint(attempt)
+	if d <= 0 || d > r.cfg.RetryMax {
+		d = r.cfg.RetryMax
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// do runs one logical operation through the breaker and retry loop.
+func (r *Resilient) do(op string, fn func() error) error {
+	if err := r.admit(op); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.ops++
+	r.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if !isTransient(err) {
+			// Success, or a definitive server response.
+			r.onSuccess()
+			return err
+		}
+		r.onFailure()
+		if attempt >= r.cfg.MaxRetries {
+			return err
+		}
+		r.cfg.sleep(r.backoff(attempt))
+		// The circuit may have opened while we were backing off (our own
+		// failures or a concurrent caller's).
+		if aerr := r.admit(op); aerr != nil {
+			return aerr
+		}
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+	}
+}
+
+// ID implements ServerConn.
+func (r *Resilient) ID() wire.ServerID { return r.inner.ID() }
+
+// Store implements ServerConn. Note that a retried store whose first
+// attempt committed surfaces as wire.StatusExists; callers already treat
+// that as success (the log layer's ship path).
+func (r *Resilient) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	return r.do("store", func() error { return r.inner.Store(fid, data, mark, ranges) })
+}
+
+// Read implements ServerConn.
+func (r *Resilient) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	var out []byte
+	err := r.do("read", func() error {
+		var err error
+		out, err = r.inner.Read(fid, off, n)
+		return err
+	})
+	return out, err
+}
+
+// Delete implements ServerConn.
+func (r *Resilient) Delete(fid wire.FID) error {
+	return r.do("delete", func() error { return r.inner.Delete(fid) })
+}
+
+// Prealloc implements ServerConn.
+func (r *Resilient) Prealloc(fid wire.FID) error {
+	return r.do("prealloc", func() error { return r.inner.Prealloc(fid) })
+}
+
+// LastMarked implements ServerConn.
+func (r *Resilient) LastMarked(client wire.ClientID) (wire.FID, bool, error) {
+	var (
+		fid   wire.FID
+		found bool
+	)
+	err := r.do("last-marked", func() error {
+		var err error
+		fid, found, err = r.inner.LastMarked(client)
+		return err
+	})
+	return fid, found, err
+}
+
+// Has implements ServerConn.
+func (r *Resilient) Has(fid wire.FID) (uint32, bool, error) {
+	var (
+		size  uint32
+		found bool
+	)
+	err := r.do("has", func() error {
+		var err error
+		size, found, err = r.inner.Has(fid)
+		return err
+	})
+	return size, found, err
+}
+
+// List implements ServerConn.
+func (r *Resilient) List(client wire.ClientID) ([]wire.FID, error) {
+	var fids []wire.FID
+	err := r.do("list", func() error {
+		var err error
+		fids, err = r.inner.List(client)
+		return err
+	})
+	return fids, err
+}
+
+// ACLCreate implements ServerConn. ACL creation is not idempotent (a
+// retry after a lost response would leak an ACL), so it is not retried.
+func (r *Resilient) ACLCreate(members []wire.ClientID) (wire.AID, error) {
+	if err := r.admit("acl-create"); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.ops++
+	r.mu.Unlock()
+	aid, err := r.inner.ACLCreate(members)
+	if isTransient(err) {
+		r.onFailure()
+	} else {
+		r.onSuccess()
+	}
+	return aid, err
+}
+
+// ACLModify implements ServerConn.
+func (r *Resilient) ACLModify(aid wire.AID, add, remove []wire.ClientID) error {
+	return r.do("acl-modify", func() error { return r.inner.ACLModify(aid, add, remove) })
+}
+
+// ACLDelete implements ServerConn.
+func (r *Resilient) ACLDelete(aid wire.AID) error {
+	return r.do("acl-delete", func() error { return r.inner.ACLDelete(aid) })
+}
+
+// Stat implements ServerConn.
+func (r *Resilient) Stat() (wire.StatResponse, error) {
+	var st wire.StatResponse
+	err := r.do("stat", func() error {
+		var err error
+		st, err = r.inner.Stat()
+		return err
+	})
+	return st, err
+}
+
+// Ping implements ServerConn.
+func (r *Resilient) Ping() error {
+	return r.do("ping", func() error { return r.inner.Ping() })
+}
+
+// Close implements ServerConn, bypassing the breaker: releasing local
+// resources must work regardless of the server's health.
+func (r *Resilient) Close() error { return r.inner.Close() }
+
+// HealthReporter is implemented by connections that expose per-server
+// failure-handling state (Resilient, and wrappers that delegate to one).
+type HealthReporter interface {
+	Health() Health
+}
+
+// HealthOf returns health snapshots for every connection that reports
+// one, in cluster order.
+func HealthOf(conns []ServerConn) []Health {
+	var out []Health
+	for _, sc := range conns {
+		if hr, ok := sc.(HealthReporter); ok {
+			out = append(out, hr.Health())
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"swarm/internal/wire"
 )
@@ -15,13 +16,21 @@ import (
 // flight on the network while the server writes the previous one to disk.
 const DefaultPoolSize = 2
 
+// DefaultIOTimeout bounds each frame exchange (request write plus
+// response read) on a pooled connection, and the dial itself. Without a
+// deadline a hung server — as opposed to a dead one, whose RST fails
+// fast — would stall the caller forever and with it every stripe that
+// includes the server. Override per connection with SetIOTimeout.
+const DefaultIOTimeout = 15 * time.Second
+
 // tcpRPC multiplexes RPCs over a small pool of TCP connections. Each RPC
 // checks out one connection for its request/response exchange, so up to
 // poolSize RPCs proceed in parallel.
 type tcpRPC struct {
-	addr   string
-	client wire.ClientID
-	nextID atomic.Uint64
+	addr      string
+	client    wire.ClientID
+	nextID    atomic.Uint64
+	ioTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
 
 	pool chan *tcpStream
 
@@ -52,6 +61,7 @@ func DialTCP(id wire.ServerID, addr string, client wire.ClientID, poolSize int) 
 		poolSize = DefaultPoolSize
 	}
 	r := &tcpRPC{addr: addr, client: client, pool: make(chan *tcpStream, poolSize)}
+	r.ioTimeout.Store(int64(DefaultIOTimeout))
 	// Dial the first connection eagerly so configuration errors surface
 	// at setup time; the rest are created on demand.
 	s, err := r.dial()
@@ -65,8 +75,31 @@ func DialTCP(id wire.ServerID, addr string, client wire.ClientID, poolSize int) 
 	return &TCPConn{conn: conn{id: id, r: r}, rpc: r}, nil
 }
 
+// NewTCPConn returns a TCP ServerConn whose pooled connections are all
+// dialed on demand, without requiring the server to be reachable now.
+// This is how a client connects to a degraded cluster: operations fail
+// with ErrUnavailable until the server answers, then the pool dials and
+// the connection heals. DialTCP's eager first dial is preferable when
+// configuration errors should surface at setup time.
+func NewTCPConn(id wire.ServerID, addr string, client wire.ClientID, poolSize int) *TCPConn {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	r := &tcpRPC{addr: addr, client: client, pool: make(chan *tcpStream, poolSize)}
+	r.ioTimeout.Store(int64(DefaultIOTimeout))
+	for i := 0; i < poolSize; i++ {
+		r.pool <- nil // dialed on first use
+	}
+	return &TCPConn{conn: conn{id: id, r: r}, rpc: r}
+}
+
+// SetIOTimeout changes the per-exchange I/O deadline (0 disables it).
+// Safe to call concurrently with in-flight operations; they pick up the
+// new value on their next exchange.
+func (c *TCPConn) SetIOTimeout(d time.Duration) { c.rpc.ioTimeout.Store(int64(d)) }
+
 func (t *tcpRPC) dial() (*tcpStream, error) {
-	c, err := net.Dial("tcp", t.addr)
+	c, err := net.DialTimeout("tcp", t.addr, time.Duration(t.ioTimeout.Load()))
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, t.addr, err)
 	}
@@ -132,6 +165,15 @@ func (t *tcpRPC) putBack(s *tcpStream) {
 }
 
 func (t *tcpRPC) exchange(s *tcpStream, op wire.Op, id uint64, req, rsp wire.Message) error {
+	// Deadline covering the whole exchange: a server that accepted the
+	// connection but stopped serving must not hang the caller. The
+	// deadline is cleared on success so idle pooled streams don't expire.
+	if d := time.Duration(t.ioTimeout.Load()); d > 0 {
+		if err := s.c.SetDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+		defer s.c.SetDeadline(time.Time{})
+	}
 	if err := wire.WriteRequest(s.w, op, id, t.client, req); err != nil {
 		return err
 	}

@@ -35,6 +35,7 @@ import (
 	"swarm/internal/ldisk"
 	"swarm/internal/service"
 	"swarm/internal/sting"
+	"swarm/internal/transport"
 	"swarm/internal/vfs"
 	"swarm/internal/wire"
 )
@@ -84,6 +85,12 @@ type (
 	FileInfo = vfs.FileInfo
 	// DirEntry is a directory listing entry.
 	DirEntry = vfs.DirEntry
+	// ResilientConfig tunes the retry/backoff and circuit-breaker layer
+	// that ConnectAddrs wraps around each server connection.
+	ResilientConfig = transport.ResilientConfig
+	// Health is a per-server snapshot of circuit state and failure
+	// counters, as returned by Client.Health.
+	Health = transport.Health
 )
 
 // Codec constructors: the paper's compression and encryption services
@@ -117,4 +124,7 @@ var (
 	ErrExist = vfs.ErrExist
 	// ErrLost: a fragment is unavailable and unreconstructable.
 	ErrLost = core.ErrLost
+	// ErrUnavailable: a storage server could not be reached (including
+	// fast-failed calls while its circuit breaker is open).
+	ErrUnavailable = transport.ErrUnavailable
 )
