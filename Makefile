@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-strict
+# Total statement coverage (make cover) must not drop below this.
+COVER_FLOOR ?= 75
 
-# The full pre-commit gate: static checks, full test suite, and a race
-# pass over the packages with real concurrency (the transport and the
+.PHONY: ci check vet build test race chaos cover bench-strict
+
+.DEFAULT_GOAL := ci
+
+# The CI gate — what `make` with no arguments runs: static checks, the
+# full test suite, and a race pass over the packages with real
+# concurrency (the transport, the fragment I/O engine, and the
 # striped-log core, including the chaos harness in the root package).
-check: vet build test race
+ci: vet build test race
+
+# Historical alias for the same gate.
+check: ci
 
 vet:
 	$(GO) vet ./...
@@ -19,12 +28,20 @@ test:
 # Race pass over the concurrency-heavy layers plus the cluster-level
 # chaos/fault-injection tests in the root package.
 race:
-	$(GO) test -race ./internal/transport ./internal/core
+	$(GO) test -race ./internal/transport ./internal/fragio ./internal/core
 	$(GO) test -race -run 'TestChaos|TestDegradedWrites|TestClientClose' .
 
 # The chaos harness alone, under the race detector.
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestDegradedWrites' .
+
+# Statement coverage across all packages, with a floor: fails if the
+# total drops below COVER_FLOOR percent.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { pct = $$3 + 0; printf "total coverage: %s (floor %d%%)\n", $$3, floor; \
+		 if (pct < floor) { print "FAIL: coverage below floor"; exit 1 } }'
 
 # Benchmark shape tests with the strict environment-sensitive
 # throughput-ratio assertions enabled (needs an unloaded machine).

@@ -37,6 +37,10 @@ type ClientOptions struct {
 	DisableParity bool
 	// PipelineDepth bounds in-flight fragments per server. Default 2.
 	PipelineDepth int
+	// FetchConcurrency bounds concurrent fragment fetches per server in
+	// the fragment I/O engine (reads, reconstruction, rebuild, recovery,
+	// and the cleaner all share it). Default 4.
+	FetchConcurrency int
 	// PreallocStripes reserves stripe slots on the servers when a stripe
 	// opens, guaranteeing started stripes (and their parity) can always
 	// be stored even if other clients fill the servers meanwhile.
@@ -140,6 +144,7 @@ func connect(id ClientID, conns []transport.ServerConn, opts ClientOptions) (*Cl
 		Width:              opts.Width,
 		DisableParity:      opts.DisableParity,
 		PipelineDepth:      opts.PipelineDepth,
+		FetchConcurrency:   opts.FetchConcurrency,
 		PreallocStripes:    opts.PreallocStripes,
 		ReadaheadFragments: opts.ReadaheadFragments,
 		ACLs:               acls,

@@ -21,13 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"swarm/internal/bench"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
 		verbose = flag.Bool("v", false, "print progress")
@@ -110,6 +111,15 @@ func run(fig string, scale float64, blocks int, verbose bool) error {
 		return nil
 	}
 
+	runRecon := func() error {
+		rows, err := bench.RunReconSweep([]int{4, 8}, 4, 15*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		bench.PrintReconResults(os.Stdout, rows)
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -121,14 +131,16 @@ func run(fig string, scale float64, blocks int, verbose bool) error {
 		return runRead()
 	case "ablate":
 		return runAblate()
+	case "recon":
+		return runRecon()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, all)", fig)
 	}
 }

@@ -1,0 +1,211 @@
+// Reconstruction benchmark: what the fragment I/O engine's parallel
+// scatter-gather buys over the serial member-at-a-time fetch loop the
+// engine replaced. Unlike the 1999-model benchmarks, this one injects
+// explicit per-server latency through transport.Flaky — the measurement
+// is sleep-dominated, so the shapes are stable on loaded hosts and under
+// the race detector.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// ReconConfig parameterizes the degraded-read reconstruction benchmark.
+type ReconConfig struct {
+	// Width is the stripe width; one server per member.
+	Width int
+	// Stripes is how many closed stripes to write (one fragment per
+	// stripe lands on the victim server and must be reconstructed).
+	Stripes int
+	// Latency is the injected per-request server latency.
+	Latency time.Duration
+}
+
+// ReconResult compares serial and engine reconstruction of every
+// fragment lost with one dead server.
+type ReconResult struct {
+	Width     int
+	Fragments int
+	Latency   time.Duration
+	// SerialTime replays the pre-engine client: for each lost fragment,
+	// fetch the surviving stripe members one at a time (header round
+	// trip, then payload round trip) and XOR.
+	SerialTime time.Duration
+	// EngineTime reads the same lost fragments through
+	// core.Log.FetchFragment, whose reconstruction gathers all surviving
+	// members in one parallel fan-out.
+	EngineTime time.Duration
+	// Speedup = SerialTime / EngineTime.
+	Speedup float64
+}
+
+// RunReconBench writes cfg.Stripes stripes across cfg.Width servers,
+// kills one server, injects cfg.Latency on the rest, and reconstructs
+// every fragment the dead server held — once with the old serial member
+// loop and once through the engine.
+func RunReconBench(cfg ReconConfig) (ReconResult, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = 3
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 15 * time.Millisecond
+	}
+	const fragSize = 4096
+	client := wire.ClientID(1)
+
+	flakies := make([]*transport.Flaky, cfg.Width)
+	conns := make([]transport.ServerConn, cfg.Width)
+	for i := 0; i < cfg.Width; i++ {
+		st, err := server.Format(disk.NewMemDisk(4<<20), server.Config{FragmentSize: fragSize})
+		if err != nil {
+			return ReconResult{}, fmt.Errorf("format server %d: %w", i, err)
+		}
+		flakies[i] = transport.NewFlaky(transport.NewLocal(wire.ServerID(i+1), st, client))
+		conns[i] = flakies[i]
+	}
+	log, _, err := core.Open(core.Config{Client: client, Servers: conns, FragmentSize: fragSize})
+	if err != nil {
+		return ReconResult{}, err
+	}
+	defer log.Close()
+
+	block := make([]byte, 600)
+	wantSeqs := uint64(cfg.Stripes * cfg.Width)
+	for log.NextPos().Seq < wantSeqs {
+		if _, err := log.AppendBlock(7, block, nil); err != nil {
+			return ReconResult{}, err
+		}
+	}
+	if err := log.Sync(); err != nil {
+		return ReconResult{}, err
+	}
+
+	// Who holds what, probed before any fault injection.
+	owner := make(map[wire.FID]transport.ServerConn)
+	for _, c := range conns {
+		fids, err := c.List(client)
+		if err != nil {
+			return ReconResult{}, err
+		}
+		for _, fid := range fids {
+			if _, ok := owner[fid]; !ok {
+				owner[fid] = c
+			}
+		}
+	}
+	victim := conns[0]
+	var lost []wire.FID
+	vfids, err := victim.List(client)
+	if err != nil {
+		return ReconResult{}, err
+	}
+	for _, fid := range vfids {
+		if fid.Seq() < wantSeqs {
+			lost = append(lost, fid)
+		}
+	}
+	if len(lost) == 0 {
+		return ReconResult{}, fmt.Errorf("victim server holds no closed-stripe fragments")
+	}
+
+	flakies[0].SetDown(true)
+	for _, fl := range flakies {
+		fl.SetLatency(cfg.Latency)
+	}
+
+	// Serial baseline: the member loop the engine replaced — two round
+	// trips (header, payload) per surviving member, one member at a time.
+	width := uint64(cfg.Width)
+	start := time.Now()
+	for _, fid := range lost {
+		base := fid.Seq() / width * width
+		var parity []byte
+		for s := base; s < base+width; s++ {
+			mfid := wire.MakeFID(client, s)
+			if mfid == fid {
+				continue
+			}
+			conn, ok := owner[mfid]
+			if !ok || conn == victim {
+				return ReconResult{}, fmt.Errorf("stripe member %v unreachable", mfid)
+			}
+			hdr, err := conn.Read(mfid, 0, core.HeaderSize)
+			if err != nil {
+				return ReconResult{}, fmt.Errorf("serial header %v: %w", mfid, err)
+			}
+			h, err := core.DecodeHeader(hdr)
+			if err != nil {
+				return ReconResult{}, err
+			}
+			payload, err := conn.Read(mfid, core.HeaderSize, h.DataLen)
+			if err != nil {
+				return ReconResult{}, fmt.Errorf("serial payload %v: %w", mfid, err)
+			}
+			if len(payload) > len(parity) {
+				parity = append(parity, make([]byte, len(payload)-len(parity))...)
+			}
+			for i, b := range payload {
+				parity[i] ^= b
+			}
+		}
+	}
+	serial := time.Since(start)
+
+	// Engine path: the same lost fragments through FetchFragment, which
+	// fails over from the dead server and gathers the survivors in
+	// parallel. Each FID is distinct, so the reconstruction cache never
+	// short-circuits the work.
+	start = time.Now()
+	for _, fid := range lost {
+		if _, _, err := log.FetchFragment(fid); err != nil {
+			return ReconResult{}, fmt.Errorf("engine reconstruct %v: %w", fid, err)
+		}
+	}
+	engine := time.Since(start)
+
+	return ReconResult{
+		Width:      cfg.Width,
+		Fragments:  len(lost),
+		Latency:    cfg.Latency,
+		SerialTime: serial,
+		EngineTime: engine,
+		Speedup:    float64(serial) / float64(engine),
+	}, nil
+}
+
+// RunReconSweep runs the reconstruction benchmark at each width.
+func RunReconSweep(widths []int, stripes int, latency time.Duration) ([]ReconResult, error) {
+	var out []ReconResult
+	for _, w := range widths {
+		r, err := RunReconBench(ReconConfig{Width: w, Stripes: stripes, Latency: latency})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintReconResults renders the serial-vs-engine reconstruction table.
+func PrintReconResults(w io.Writer, rows []ReconResult) {
+	fmt.Fprintf(w, "Degraded-read reconstruction — serial member loop vs engine scatter-gather\n")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-14s %-14s %s\n",
+		"width", "fragments", "latency", "serial", "engine", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-10d %-10v %-14v %-14v %.2fx\n",
+			r.Width, r.Fragments, r.Latency,
+			r.SerialTime.Round(time.Millisecond), r.EngineTime.Round(time.Millisecond), r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

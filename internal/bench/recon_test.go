@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The reconstruction benchmark is sleep-dominated (injected latency
+// dwarfs compute), so unlike the 1999-model shapes its ratios are stable
+// under -race and on loaded hosts; the 2x bar is enforced always.
+func TestReconBenchEngineBeatsSerial(t *testing.T) {
+	rows, err := RunReconSweep([]int{4, 8}, 2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fragments != 2 {
+			t.Fatalf("width %d: %d lost fragments, want one per stripe", r.Width, r.Fragments)
+		}
+		if r.Speedup <= 1 {
+			t.Fatalf("width %d: engine (%v) not faster than serial (%v)", r.Width, r.EngineTime, r.SerialTime)
+		}
+		t.Logf("width %d: serial %v, engine %v, %.2fx", r.Width, r.SerialTime, r.EngineTime, r.Speedup)
+	}
+	// Width 8: serial pays 2 round trips for each of 7 survivors; the
+	// engine pays ~4 total (failed direct read, sibling probe, parallel
+	// header + payload). ≥ 2x is a conservative floor on the ≈3.5x gap.
+	if rows[1].Speedup < 2 {
+		t.Fatalf("width 8 speedup = %.2fx, want ≥ 2x (serial %v, engine %v)",
+			rows[1].Speedup, rows[1].SerialTime, rows[1].EngineTime)
+	}
+
+	var sb strings.Builder
+	PrintReconResults(&sb, rows)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("render missing speedup:\n%s", sb.String())
+	}
+}

@@ -4,6 +4,12 @@
 // cache" and "Swarm's poor read performance is masked by the client-side
 // cache" (§3.4). The cache intercepts reads between a service and the
 // log, holding whole blocks in an LRU keyed by block address.
+//
+// Misses fall through to the Reader below (normally *core.Log), whose
+// reads — including fragment-grained readahead — are issued through the
+// log's fragment I/O engine (internal/fragio), so cache fills share the
+// same per-server queues, parallel fan-out, and reconstruction
+// deduplication as every other fetch path.
 package blockcache
 
 import (

@@ -21,7 +21,6 @@ import (
 
 	"swarm/internal/core"
 	"swarm/internal/service"
-	"swarm/internal/wire"
 )
 
 // ErrNothingToClean is returned by CleanOnce when no stripe qualifies.
@@ -186,16 +185,14 @@ type liveBlock struct {
 // cleanStripe moves the live blocks out of one stripe and reclaims it.
 // "A block is cleaned by appending it to the log, changing its address
 // and requiring the services that wrote it to update their metadata
-// accordingly" (§2.1.4).
+// accordingly" (§2.1.4). The stripe's members are fetched in one
+// parallel fan-out through the log's fragment I/O engine.
 func (c *Cleaner) cleanStripe(stripe uint64) error {
-	width := uint64(c.log.Width())
-	base := stripe * width
-
 	var live []liveBlock
-	for i := uint64(0); i < width; i++ {
-		fid := wire.MakeFID(c.log.Client(), base+i)
-		h, payload, err := c.log.FetchFragment(fid)
-		if err != nil {
+	for _, m := range c.log.FetchStripe(stripe) {
+		fid := m.FID
+		h, payload := m.Header, m.Payload
+		if m.Err != nil {
 			// A fully absent fragment (e.g. a never-written slot in a
 			// pre-parity stripe) contributes nothing.
 			continue
@@ -210,7 +207,7 @@ func (c *Cleaner) cleanStripe(stripe uint64) error {
 			data []byte
 		}
 		blocks := make(map[core.BlockAddr]pending)
-		err = core.IterEntries(payload, func(e core.Entry) bool {
+		err := core.IterEntries(payload, func(e core.Entry) bool {
 			switch e.Kind {
 			case core.EntryBlock:
 				addr := core.BlockAddr{FID: fid, Off: e.Off}

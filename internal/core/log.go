@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"swarm/internal/fragio"
 	"swarm/internal/model"
 	"swarm/internal/transport"
 	"swarm/internal/wire"
@@ -62,6 +63,10 @@ type Config struct {
 	// miss in the client cache"). The value is the number of fragments
 	// held.
 	ReadaheadFragments int
+	// FetchConcurrency bounds concurrent fragment fetches per server in
+	// the fragment I/O engine — the fan-out width available to stripe
+	// reconstruction, cleaner scans, recovery, and readahead. Default 4.
+	FetchConcurrency int
 	// ACLs, when non-empty, protects every stored fragment with the
 	// given per-server access control list (each server assigns its own
 	// AIDs, hence the map). Fragments are stored with a single byte
@@ -123,11 +128,10 @@ type Log struct {
 	recon      *fragCache
 	readahead  bool
 
-	sems map[wire.ServerID]chan struct{}
-
-	flowMu  sync.Mutex
-	flowCnt int
-	flowCV  *sync.Cond
+	// engine is the fragment I/O engine: per-server request queues,
+	// scatter-gather fetch, singleflight, and the store/retry policy.
+	// Every fragment store and fetch goes through it.
+	engine *fragio.Engine
 
 	errMu sync.Mutex
 	ioErr error
@@ -209,17 +213,19 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		usage:       NewUsageTable(),
 		recon:       newFragCache(max(8, cfg.ReadaheadFragments)),
 		readahead:   cfg.ReadaheadFragments > 0,
-		sems:        make(map[wire.ServerID]chan struct{}, len(cfg.Servers)),
 	}
-	l.flowCV = sync.NewCond(&l.flowMu)
 	l.pacc = newParityAccum(l.payloadSize)
 	for _, sc := range cfg.Servers {
 		if _, dup := l.byServer[sc.ID()]; dup {
 			return nil, nil, fmt.Errorf("%w: duplicate server id %d", ErrConfig, sc.ID())
 		}
 		l.byServer[sc.ID()] = sc
-		l.sems[sc.ID()] = make(chan struct{}, cfg.PipelineDepth)
 	}
+	l.engine = fragio.New(cfg.Servers, fragio.Options{
+		Format:     frameFormat{},
+		StoreDepth: cfg.PipelineDepth,
+		FetchDepth: cfg.FetchConcurrency,
+	})
 	// Sanity-check the fragment size against every reachable server: a
 	// mismatch would otherwise surface as confusing store failures deep
 	// into a run. Unreachable servers are tolerated (recovery handles
@@ -274,6 +280,10 @@ func (l *Log) Stats() LogStats {
 	defer l.mu.Unlock()
 	return l.stats
 }
+
+// EngineStats returns a snapshot of the fragment I/O engine's counters
+// (fetches, gathers, broadcasts, deduplicated flights, store retries).
+func (l *Log) EngineStats() fragio.Stats { return l.engine.Stats() }
 
 // RegisterService tells the log a service exists. Registered services
 // participate in the checkpoint floor: the cleaner may only reclaim
@@ -563,44 +573,28 @@ func (l *Log) closeStripeLocked(mark bool) []sealedFrag {
 	return out
 }
 
-// ship sends sealed fragments to their servers, blocking on per-server
-// pipeline slots (flow control), then returning while stores complete
-// asynchronously.
+// ship sends sealed fragments to their servers through the engine's
+// per-server store queues, blocking on pipeline slots (flow control),
+// then returning while stores complete asynchronously. The engine owns
+// the retry policy: one extra attempt on bare connections, none on
+// connections that already carry a resilience layer (stacked retries
+// would multiply attempts against a down server), and StatusExists — a
+// response lost after the server committed — counts as success.
 func (l *Log) ship(frags []sealedFrag) {
 	l.drainPreallocs()
 	for _, f := range frags {
+		f := f
 		// Client-side log processing cost: marshalling and checksumming
 		// the bytes shipped, plus fixed per-fragment work.
 		if l.cfg.CPU != nil {
 			l.cfg.CPU.Process(len(f.frame))
 			l.cfg.CPU.Compute(l.cfg.FragOverhead)
 		}
-		sem := l.sems[f.conn.ID()]
-		sem <- struct{}{}
-		l.flowMu.Lock()
-		l.flowCnt++
-		l.flowMu.Unlock()
-		go func(f sealedFrag) {
-			defer func() {
-				<-sem
-				l.flowMu.Lock()
-				l.flowCnt--
-				l.flowCV.Broadcast()
-				l.flowMu.Unlock()
-			}()
-			var ranges []wire.ACLRange
-			if aid, ok := l.cfg.ACLs[f.conn.ID()]; ok {
-				ranges = []wire.ACLRange{{Off: 0, Len: uint32(len(f.frame)), AID: aid}}
-			}
-			err := f.conn.Store(f.fid, f.frame, f.mark, ranges)
-			if err != nil {
-				// One retry: a response lost after the server committed
-				// shows up as StatusExists, which is success.
-				err = f.conn.Store(f.fid, f.frame, f.mark, ranges)
-				if wire.IsStatus(err, wire.StatusExists) {
-					err = nil
-				}
-			}
+		var ranges []wire.ACLRange
+		if aid, ok := l.cfg.ACLs[f.conn.ID()]; ok {
+			ranges = []wire.ACLRange{{Off: 0, Len: uint32(len(f.frame)), AID: aid}}
+		}
+		l.engine.StoreAsync(f.conn, f.fid, f.frame, f.mark, ranges, func(err error) {
 			if err != nil {
 				if l.noteDegraded(f.fid, f.conn.ID(), err) {
 					// Degraded write (§2.1.2, §3.3): the server is
@@ -622,7 +616,7 @@ func (l *Log) ship(frags []sealedFrag) {
 			l.mu.Lock()
 			delete(l.inflight, f.fid)
 			l.mu.Unlock()
-		}(f)
+		})
 	}
 }
 
@@ -724,11 +718,7 @@ func (l *Log) ClearErr() {
 
 // waitInflight blocks until every dispatched store has completed.
 func (l *Log) waitInflight() {
-	l.flowMu.Lock()
-	for l.flowCnt > 0 {
-		l.flowCV.Wait()
-	}
-	l.flowMu.Unlock()
+	l.engine.Wait()
 }
 
 // Sync seals the open fragment, closes the stripe (padding it so parity

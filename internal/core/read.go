@@ -1,14 +1,42 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 
+	"swarm/internal/fragio"
 	"swarm/internal/transport"
 	"swarm/internal/wire"
 )
+
+// frameFormat adapts the log's fragment header encoding to the fragment
+// I/O engine, which fetches and validates frames without knowing the
+// format (fragio sits below core in the dependency order).
+type frameFormat struct{}
+
+func (frameFormat) HeaderSize() uint32 { return HeaderSize }
+
+func (frameFormat) Parse(fid wire.FID, hdr []byte) (any, uint32, error) {
+	h, err := DecodeHeader(hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if h.FID != fid {
+		return nil, 0, fmt.Errorf("%w: fragment %v claims FID %v", ErrBadFragment, fid, h.FID)
+	}
+	return h, h.DataLen, nil
+}
+
+func (frameFormat) Verify(decoded any, payload []byte) error {
+	h := decoded.(Header)
+	if crc32.ChecksumIEEE(payload) != h.PayloadCRC {
+		// A corrupted replica is as good as a missing one; callers fall
+		// back to reconstruction from the stripe.
+		return fmt.Errorf("%w: fragment %v payload checksum mismatch", ErrBadFragment, h.FID)
+	}
+	return nil
+}
 
 // fragCache holds recently reconstructed fragments so a stream of reads
 // against a failed server doesn't redo the XOR per block.
@@ -59,8 +87,9 @@ func (c *fragCache) drop(fid wire.FID) {
 
 // Read returns n bytes starting at off within the block at addr. The fast
 // paths serve from the open fragment buffer or in-flight fragments
-// (read-your-writes); otherwise the block's server is contacted, and if it
-// is unavailable the fragment is reconstructed from its stripe (§2.3.3).
+// (read-your-writes); otherwise the block's server is contacted through
+// the fragment I/O engine, and if it is unavailable the fragment is
+// reconstructed from its stripe (§2.3.3).
 func (l *Log) Read(addr BlockAddr, off, n uint32) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
@@ -109,7 +138,7 @@ func (l *Log) Read(addr BlockAddr, off, n uint32) ([]byte, error) {
 	}
 	conn := l.lookupConn(addr.FID)
 	if conn != nil {
-		data, err := conn.Read(addr.FID, HeaderSize+addr.Off+EntryHdrSize+off, n)
+		data, err := l.engine.ReadAt(conn, addr.FID, HeaderSize+addr.Off+EntryHdrSize+off, n)
 		if err == nil {
 			return data, nil
 		}
@@ -118,11 +147,10 @@ func (l *Log) Read(addr BlockAddr, off, n uint32) ([]byte, error) {
 		}
 		// Server unavailable or fragment missing: fall through.
 	}
-	h, payload, err := l.reconstructFragment(addr.FID)
+	_, payload, err := l.reconstruct(addr.FID)
 	if err != nil {
 		return nil, err
 	}
-	l.recon.put(addr.FID, cachedFrag{header: h, payload: payload})
 	return sliceBlock(payload, addr, off, n)
 }
 
@@ -144,7 +172,8 @@ func sliceBlock(payload []byte, addr BlockAddr, off, n uint32) ([]byte, error) {
 }
 
 // FetchFragment returns a fragment's header and payload, reconstructing
-// if its server is unavailable. The cleaner and recovery scan use it.
+// if its server is unavailable. The cleaner, rebuild, and recovery scans
+// all fetch through it.
 func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 	// Local copies first.
 	l.mu.Lock()
@@ -184,12 +213,63 @@ func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 	if h, payload, err := l.fetchDirect(fid); err == nil {
 		return h, payload, nil
 	}
-	h, payload, err := l.reconstructFragment(fid)
-	if err != nil {
-		return Header{}, nil, err
+	return l.reconstruct(fid)
+}
+
+// StripeMember is one member of a stripe fetched by FetchStripe.
+type StripeMember struct {
+	FID     wire.FID
+	Header  Header
+	Payload []byte
+	Err     error
+}
+
+// FetchStripe fetches every member of a closed stripe concurrently
+// through the fragment I/O engine — the cleaner's scan path. A member
+// that can be neither read nor reconstructed carries an Err; callers
+// decide what absence means (the cleaner skips it, a verifier fails).
+func (l *Log) FetchStripe(stripe uint64) []StripeMember {
+	base := stripe * uint64(l.width)
+	seqs := make([]uint64, l.width)
+	for i := range seqs {
+		seqs[i] = base + uint64(i)
 	}
-	l.recon.put(fid, cachedFrag{header: h, payload: payload})
-	return h, payload, nil
+	frags := l.fetchSeqs(seqs)
+	out := make([]StripeMember, l.width)
+	for i, seq := range seqs {
+		f := frags[seq]
+		out[i] = StripeMember{FID: wire.MakeFID(l.client, seq), Header: f.header, Payload: f.payload, Err: f.err}
+	}
+	return out
+}
+
+// fetchedFrag is one result of a fetchSeqs fan-out.
+type fetchedFrag struct {
+	header  Header
+	payload []byte
+	err     error
+}
+
+// fetchSeqs fetches a set of this log's fragments concurrently, each
+// through FetchFragment (local copies, direct read, reconstruction). The
+// engine's per-server queues bound the fan-out.
+func (l *Log) fetchSeqs(seqs []uint64) map[uint64]fetchedFrag {
+	out := make([]fetchedFrag, len(seqs))
+	var wg sync.WaitGroup
+	for i, seq := range seqs {
+		wg.Add(1)
+		go func(i int, seq uint64) {
+			defer wg.Done()
+			h, p, err := l.FetchFragment(wire.MakeFID(l.client, seq))
+			out[i] = fetchedFrag{header: h, payload: p, err: err}
+		}(i, seq)
+	}
+	wg.Wait()
+	m := make(map[uint64]fetchedFrag, len(seqs))
+	for i, seq := range seqs {
+		m[seq] = out[i]
+	}
+	return m
 }
 
 // fetchDirect reads a fragment from the server believed to hold it,
@@ -198,44 +278,62 @@ func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 func (l *Log) fetchDirect(fid wire.FID) (Header, []byte, error) {
 	conn := l.lookupConn(fid)
 	if conn == nil {
-		found := transport.Broadcast(l.servers, fid)
-		if len(found) == 0 {
-			return Header{}, nil, fmt.Errorf("%w: fragment %v not found on any server", ErrLost, fid)
+		var err error
+		conn, err = l.discover(fid)
+		if err != nil {
+			return Header{}, nil, err
 		}
-		conn = found[0]
-		l.mu.Lock()
-		l.locations[fid] = conn.ID()
-		l.stats.BroadcastFallback++
-		l.mu.Unlock()
 	}
-	return readFragmentFrom(conn, fid)
+	return l.engineFetch(conn, fid)
 }
 
-func readFragmentFrom(conn transport.ServerConn, fid wire.FID) (Header, []byte, error) {
-	hdrBytes, err := conn.Read(fid, 0, HeaderSize)
+// engineFetch fetches and validates one whole fragment from conn through
+// the engine's bounded per-server queue.
+func (l *Log) engineFetch(conn transport.ServerConn, fid wire.FID) (Header, []byte, error) {
+	decoded, payload, err := l.engine.Fetch(conn, fid)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	h, err := DecodeHeader(hdrBytes)
+	return decoded.(Header), payload, nil
+}
+
+// discover finds fid by broadcast (deduplicated in the engine: concurrent
+// discoveries of the same FID share one broadcast) and records the
+// location for future reads.
+func (l *Log) discover(fid wire.FID) (transport.ServerConn, error) {
+	conn, shared, err := l.engine.Locate(fid)
+	if err != nil {
+		return nil, fmt.Errorf("%w: fragment %v not found on any server", ErrLost, fid)
+	}
+	l.mu.Lock()
+	l.locations[fid] = conn.ID()
+	if !shared {
+		l.stats.BroadcastFallback++
+	}
+	l.mu.Unlock()
+	return conn, nil
+}
+
+// reconstruct rebuilds fid from its stripe, deduplicated through the
+// engine's singleflight: N concurrent readers of the same lost fragment
+// pay for exactly one stripe fan-out and share its result. The result is
+// cached before the flight lands, so later readers hit the fragment
+// cache without a flight at all.
+func (l *Log) reconstruct(fid wire.FID) (Header, []byte, error) {
+	v, _, err := l.engine.Single(fid, func() (any, error) {
+		h, payload, rerr := l.reconstructFragment(fid)
+		if rerr != nil {
+			return nil, rerr
+		}
+		f := cachedFrag{header: h, payload: payload}
+		l.recon.put(fid, f)
+		return f, nil
+	})
 	if err != nil {
 		return Header{}, nil, err
 	}
-	if h.FID != fid {
-		return Header{}, nil, fmt.Errorf("%w: fragment %v claims FID %v", ErrBadFragment, fid, h.FID)
-	}
-	if h.DataLen == 0 {
-		return h, nil, nil
-	}
-	payload, err := conn.Read(fid, HeaderSize, h.DataLen)
-	if err != nil {
-		return Header{}, nil, err
-	}
-	if crc32.ChecksumIEEE(payload) != h.PayloadCRC {
-		// A corrupted replica is as good as a missing one; callers fall
-		// back to reconstruction from the stripe.
-		return Header{}, nil, fmt.Errorf("%w: fragment %v payload checksum mismatch", ErrBadFragment, fid)
-	}
-	return h, payload, nil
+	f := v.(cachedFrag)
+	return f.header, f.payload, nil
 }
 
 // reconstructFragment rebuilds a missing fragment from the surviving
@@ -244,7 +342,9 @@ func readFragmentFrom(conn transport.ServerConn, fid wire.FID) (Header, []byte, 
 // (§2.3.3). The stripe is discovered by broadcasting for a neighboring
 // fragment — numbering within a stripe is consecutive, so a sibling is
 // within MaxWidth-1 sequence numbers — and reading the stripe group from
-// its header.
+// its header. The surviving members are then gathered in one parallel
+// fan-out: width-W reconstruction costs ~max(member latency), not the
+// sum of W-1 sequential round trips.
 func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 	sib, err := l.findSibling(fid)
 	if err != nil {
@@ -258,28 +358,42 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 	}
 	parityIdx := int(sib.StripeID % uint64(width))
 
-	// Fetch every surviving member. All must be present: parity
-	// tolerates exactly one missing fragment per stripe.
+	// Gather every surviving member concurrently. All must be present:
+	// parity tolerates exactly one missing fragment per stripe.
+	members := make([]fragio.Member, 0, width-1)
+	idxOf := make([]int, 0, width-1)
+	for i := 0; i < width; i++ {
+		if i == missIdx {
+			continue
+		}
+		members = append(members, fragio.Member{FID: sib.MemberFID(i), Server: sib.Group[i]})
+		idxOf = append(idxOf, i)
+	}
+	results := l.engine.Gather(members)
 	var (
 		parityHdr     Header
 		parityPayload []byte
 		others        [][]byte
 	)
-	for i := 0; i < width; i++ {
-		mfid := sib.MemberFID(i)
-		if i == missIdx {
-			continue
+	for k, r := range results {
+		if r.Err != nil {
+			return Header{}, nil, fmt.Errorf("%w: stripe member %v also unavailable: %v", ErrLost, r.FID, r.Err)
 		}
-		h, payload, ferr := l.fetchMember(sib, i)
-		if ferr != nil {
-			return Header{}, nil, fmt.Errorf("%w: stripe member %v also unavailable: %v", ErrLost, mfid, ferr)
-		}
-		if i == parityIdx {
-			parityHdr, parityPayload = h, payload
+		if idxOf[k] == parityIdx {
+			parityHdr, parityPayload = r.Decoded.(Header), r.Payload
 		} else {
-			others = append(others, payload)
+			others = append(others, r.Payload)
 		}
 	}
+	// Remember where the members were actually found (a gather may have
+	// located one by broadcast after its group server failed).
+	l.mu.Lock()
+	for _, r := range results {
+		if r.From != 0 {
+			l.locations[r.FID] = r.From
+		}
+	}
+	l.mu.Unlock()
 
 	if missIdx == parityIdx {
 		// Rebuilding the parity fragment itself: XOR the data members.
@@ -336,18 +450,6 @@ func (l *Log) bumpReconStat() {
 	l.mu.Unlock()
 }
 
-// fetchMember reads stripe member i using the sibling header's group
-// information, falling back to broadcast.
-func (l *Log) fetchMember(sib *Header, i int) (Header, []byte, error) {
-	mfid := sib.MemberFID(i)
-	if conn, ok := l.byServer[sib.Group[i]]; ok {
-		if h, p, err := readFragmentFrom(conn, mfid); err == nil {
-			return h, p, nil
-		}
-	}
-	return l.fetchDirect(mfid)
-}
-
 // findSibling locates any other fragment of fid's stripe and returns its
 // header. Per the paper: "If fragment N needs to be reconstructed, then
 // either fragment N-1 or fragment N+1 is in the same stripe. A client
@@ -360,7 +462,7 @@ func (l *Log) findSibling(fid wire.FID) (*Header, error) {
 				continue
 			}
 			cfid := wire.MakeFID(fid.Client(), uint64(cand))
-			h, _, err := l.fetchSiblingHeader(cfid)
+			h, err := l.fetchSiblingHeader(cfid)
 			if err != nil {
 				continue
 			}
@@ -373,30 +475,31 @@ func (l *Log) findSibling(fid wire.FID) (*Header, error) {
 	return nil, fmt.Errorf("%w: no stripe sibling found for %v", ErrLost, fid)
 }
 
-func (l *Log) fetchSiblingHeader(fid wire.FID) (*Header, []byte, error) {
+func (l *Log) fetchSiblingHeader(fid wire.FID) (*Header, error) {
 	conn := l.lookupConn(fid)
 	if conn == nil {
-		found := transport.Broadcast(l.servers, fid)
-		if len(found) == 0 {
-			return nil, nil, errors.New("not found")
-		}
-		conn = found[0]
-	}
-	hdrBytes, err := conn.Read(fid, 0, HeaderSize)
-	if err != nil {
-		// The recorded location may be a down server; try broadcast once.
-		found := transport.Broadcast(l.servers, fid)
-		if len(found) == 0 {
-			return nil, nil, err
-		}
-		hdrBytes, err = found[0].Read(fid, 0, HeaderSize)
+		found, _, err := l.engine.Locate(fid)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
+		}
+		conn = found
+	}
+	hdrBytes, err := l.engine.ReadAt(conn, fid, 0, HeaderSize)
+	if err != nil {
+		// The recorded location may be a down server; try broadcast once
+		// (concurrent discoveries of the same FID share one broadcast).
+		found, _, berr := l.engine.Locate(fid)
+		if berr != nil {
+			return nil, err
+		}
+		hdrBytes, err = l.engine.ReadAt(found, fid, 0, HeaderSize)
+		if err != nil {
+			return nil, err
 		}
 	}
 	h, err := DecodeHeader(hdrBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return &h, nil, nil
+	return &h, nil
 }

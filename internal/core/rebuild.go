@@ -88,10 +88,10 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 			frame := make([]byte, HeaderSize+len(payload))
 			copy(frame, EncodeHeader(&h))
 			copy(frame[HeaderSize:], payload)
-			if err := conn.Store(fid, frame, false, l.rangesFor(conn, len(frame))); err != nil {
-				if wire.IsStatus(err, wire.StatusExists) {
-					continue // raced with another writer; fine
-				}
+			// The engine's store policy treats StatusExists as success —
+			// here that means the store raced with another writer and the
+			// fragment is on the server either way.
+			if err := l.engine.Store(conn, fid, frame, false, l.rangesFor(conn, len(frame))); err != nil {
 				return rebuilt, fmt.Errorf("store rebuilt %v: %w", fid, err)
 			}
 			l.mu.Lock()

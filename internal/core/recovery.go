@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"swarm/internal/fragio"
 	"swarm/internal/wire"
 )
 
@@ -210,18 +211,39 @@ func (l *Log) readCheckpointPayload(addr BlockAddr) ([]byte, error) {
 
 // rollForward scans data fragments from replayFrom to maxSeq, delivering
 // each record to its service (if newer than that service's checkpoint)
-// and rolling the usage table forward from usageFrom.
+// and rolling the usage table forward from usageFrom. Fragments are
+// fetched a stripe at a time through the fragment I/O engine — one
+// parallel fan-out per stripe — while records are still delivered
+// strictly in log order.
 func (l *Log) rollForward(rec *Recovery, fidSet map[uint64]bool, replayFrom, usageFrom Pos, maxSeq uint64) error {
+	var (
+		fetched     map[uint64]fetchedFrag
+		fetchedBase = ^uint64(0)
+	)
 	for seq := replayFrom.Seq; seq <= maxSeq; seq++ {
 		fid := wire.MakeFID(l.client, seq)
 		if !fidSet[seq] && !l.stripeHasSurvivors(fidSet, seq) {
 			continue // stripe reclaimed or never written
 		}
-		h, payload, err := l.FetchFragment(fid)
-		if err != nil {
-			if fidSet[seq] || l.stripeHasSurvivors(fidSet, seq) {
-				rec.Holes = append(rec.Holes, fid)
+		// Entering a new stripe: gather every member of it that this scan
+		// will visit in one concurrent fan-out.
+		if stripe := l.stripeOf(seq); stripe != fetchedBase {
+			fetchedBase = stripe
+			var need []uint64
+			for s := seq; s <= maxSeq && l.stripeOf(s) == stripe; s++ {
+				if fidSet[s] || l.stripeHasSurvivors(fidSet, s) {
+					need = append(need, s)
+				}
 			}
+			fetched = l.fetchSeqs(need)
+		}
+		f, ok := fetched[seq]
+		if !ok {
+			continue
+		}
+		h, payload, err := f.header, f.payload, f.err
+		if err != nil {
+			rec.Holes = append(rec.Holes, fid)
 			continue
 		}
 		if h.Kind == FragParity {
@@ -310,28 +332,37 @@ func sortHoles(holes []wire.FID) {
 
 // VerifyStripe checks that every member of a stripe is readable and the
 // parity actually equals the XOR of the data payloads. It is a
-// consistency check used by tests and the swarmctl tool.
+// consistency check used by tests and the swarmctl tool. The members are
+// gathered in one parallel fan-out through the engine; reconstruction is
+// deliberately not attempted — verification wants the stored bytes.
 func (l *Log) VerifyStripe(stripe uint64) error {
 	base := stripe * uint64(l.width)
 	if !l.parity {
 		return errors.New("core: parity disabled")
 	}
 	pIdx := l.parityIndex(stripe)
+	members := make([]fragio.Member, l.width)
+	l.mu.Lock()
+	for i := 0; i < l.width; i++ {
+		fid := wire.MakeFID(l.client, base+uint64(i))
+		members[i] = fragio.Member{FID: fid, Server: l.locations[fid]}
+	}
+	l.mu.Unlock()
+	results := l.engine.Gather(members)
 	acc := make([]byte, l.payloadSize)
 	var parityPayload []byte
 	var parityLen uint32
-	for i := 0; i < l.width; i++ {
-		fid := wire.MakeFID(l.client, base+uint64(i))
-		h, payload, err := l.fetchDirect(fid)
-		if err != nil {
-			return fmt.Errorf("stripe %d member %d: %w", stripe, i, err)
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("stripe %d member %d: %w", stripe, i, r.Err)
 		}
+		h := r.Decoded.(Header)
 		if i == pIdx {
-			parityPayload = payload
+			parityPayload = r.Payload
 			parityLen = h.DataLen
 			continue
 		}
-		XORInto(acc, payload)
+		XORInto(acc, r.Payload)
 	}
 	for i := 0; i < l.payloadSize; i++ {
 		var want byte

@@ -1,0 +1,378 @@
+// Package fragio is the client-side fragment I/O engine: one shared
+// machine for every layer that fetches fragments from storage servers —
+// remote reads, stripe reconstruction, server rebuild, recovery scans,
+// and the cleaner. Swarm's self-hosting design (§2.3.3) puts all of that
+// work on clients, and before this package existed each layer
+// re-implemented its own fetch loop and issued requests one server at a
+// time. The engine owns:
+//
+//   - per-server request queues with bounded concurrency, so a burst of
+//     fetches neither serializes behind one round trip nor floods a
+//     single server;
+//   - parallel scatter-gather fetch of stripe members (Gather), turning
+//     width-W reconstruction from W sequential round trips into one
+//     fan-out bounded by the slowest surviving member;
+//   - singleflight deduplication keyed by FID (Single, Locate), so N
+//     concurrent readers of the same lost fragment pay for one
+//     reconstruction and one broadcast discovery, not N;
+//   - a unified store/retry policy that composes with the resilient
+//     transport layer instead of duplicating it: a connection that
+//     already retries internally is never retried again by the engine.
+//
+// The engine sits below internal/core (which owns the log format and
+// reconstruction math) and above internal/transport (which owns the wire
+// protocol and per-connection resilience). It deliberately knows nothing
+// about core's header encoding: callers describe the frame layout
+// through the Format interface.
+package fragio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// ErrNotFound is returned by Locate when no reachable server stores the
+// fragment.
+var ErrNotFound = errors.New("fragio: fragment not found on any server")
+
+// Format describes the fragment frame layout to the engine, so it can
+// fetch and validate whole fragments without importing the log format
+// (fragio must stay below core in the dependency order).
+type Format interface {
+	// HeaderSize is the fixed encoded header length at offset 0.
+	HeaderSize() uint32
+	// Parse decodes and validates hdr as the header of fragment fid,
+	// returning the decoded header (handed back to the caller untouched)
+	// and the payload length to fetch.
+	Parse(fid wire.FID, hdr []byte) (decoded any, payloadLen uint32, err error)
+	// Verify checks payload integrity against the decoded header.
+	Verify(decoded any, payload []byte) error
+}
+
+// Options tunes an Engine. The zero value selects the defaults noted on
+// each field.
+type Options struct {
+	// Format describes the fragment frame; required for Fetch/Gather.
+	Format Format
+	// StoreDepth bounds concurrent stores per server — the write
+	// pipeline depth (§2.1.2: one fragment crosses the network while the
+	// server writes the previous one). Default 2.
+	StoreDepth int
+	// FetchDepth bounds concurrent fetches per server, so scatter-gather
+	// bursts from reconstruction, the cleaner, and readahead don't flood
+	// one server. Default 4.
+	FetchDepth int
+}
+
+// Stats counts engine activity. Retrieve a snapshot with Engine.Stats.
+type Stats struct {
+	// Reads counts raw byte-range reads issued (ReadAt).
+	Reads int64
+	// Fetches counts whole-fragment fetches issued (Fetch).
+	Fetches int64
+	// Gathers counts scatter-gather fan-outs (Gather calls).
+	Gathers int64
+	// GatherMembers counts stripe members fetched across all Gathers.
+	GatherMembers int64
+	// Stores counts store operations issued.
+	Stores int64
+	// StoreRetries counts stores the engine retried itself (only ever on
+	// connections without their own resilience layer).
+	StoreRetries int64
+	// Broadcasts counts broadcast discoveries actually performed.
+	Broadcasts int64
+	// SharedFlights counts Single calls that joined an in-flight
+	// execution instead of running their own.
+	SharedFlights int64
+	// SharedLocates counts Locate calls deduplicated the same way.
+	SharedLocates int64
+}
+
+// Engine is the fragment I/O engine for one client over one cluster.
+// All methods are safe for concurrent use.
+type Engine struct {
+	servers []transport.ServerConn
+	byID    map[wire.ServerID]transport.ServerConn
+	format  Format
+
+	storeSems map[wire.ServerID]chan struct{}
+	fetchSems map[wire.ServerID]chan struct{}
+
+	flights singleflight // reconstruction and other per-FID work
+	locates singleflight // broadcast discovery
+
+	mu       sync.Mutex
+	inflight int // dispatched async stores not yet complete
+	cond     *sync.Cond
+	stats    Stats
+}
+
+// New builds an engine over the cluster's connections.
+func New(servers []transport.ServerConn, opts Options) *Engine {
+	if opts.StoreDepth <= 0 {
+		opts.StoreDepth = 2
+	}
+	if opts.FetchDepth <= 0 {
+		opts.FetchDepth = 4
+	}
+	e := &Engine{
+		servers:   servers,
+		byID:      make(map[wire.ServerID]transport.ServerConn, len(servers)),
+		format:    opts.Format,
+		storeSems: make(map[wire.ServerID]chan struct{}, len(servers)),
+		fetchSems: make(map[wire.ServerID]chan struct{}, len(servers)),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.flights.init()
+	e.locates.init()
+	for _, sc := range servers {
+		e.byID[sc.ID()] = sc
+		e.storeSems[sc.ID()] = make(chan struct{}, opts.StoreDepth)
+		e.fetchSems[sc.ID()] = make(chan struct{}, opts.FetchDepth)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Conn returns the connection for a server ID, or nil if the server is
+// not in the configuration.
+func (e *Engine) Conn(id wire.ServerID) transport.ServerConn { return e.byID[id] }
+
+func (e *Engine) acquireFetch(id wire.ServerID) func() {
+	sem, ok := e.fetchSems[id]
+	if !ok {
+		return func() {}
+	}
+	sem <- struct{}{}
+	return func() { <-sem }
+}
+
+func (e *Engine) bump(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// ------------------------------------------------------------- fetching
+
+// ReadAt reads n bytes at off of fragment fid from conn, through the
+// server's bounded fetch queue.
+func (e *Engine) ReadAt(conn transport.ServerConn, fid wire.FID, off, n uint32) ([]byte, error) {
+	release := e.acquireFetch(conn.ID())
+	defer release()
+	e.bump(func(s *Stats) { s.Reads++ })
+	return conn.Read(fid, off, n)
+}
+
+// Fetch reads and validates the whole fragment fid from conn: header,
+// payload, and integrity check, through the server's bounded fetch
+// queue. It returns the Format-decoded header alongside the payload.
+func (e *Engine) Fetch(conn transport.ServerConn, fid wire.FID) (any, []byte, error) {
+	release := e.acquireFetch(conn.ID())
+	defer release()
+	e.bump(func(s *Stats) { s.Fetches++ })
+	hdrBytes, err := conn.Read(fid, 0, e.format.HeaderSize())
+	if err != nil {
+		return nil, nil, err
+	}
+	decoded, payloadLen, err := e.format.Parse(fid, hdrBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if payloadLen == 0 {
+		return decoded, nil, nil
+	}
+	payload, err := conn.Read(fid, e.format.HeaderSize(), payloadLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.format.Verify(decoded, payload); err != nil {
+		return nil, nil, err
+	}
+	return decoded, payload, nil
+}
+
+// Member names one fragment to gather: its FID and the server believed
+// to hold it (the stripe group from a sibling header, or a recorded
+// location). A server outside the configuration — including the zero
+// value for "unknown" — sends the fetch straight to broadcast discovery.
+type Member struct {
+	FID    wire.FID
+	Server wire.ServerID
+}
+
+// Result is one gathered fragment. From is the server that actually
+// supplied it (it may differ from Member.Server after a broadcast
+// fallback); Decoded is the Format-decoded header.
+type Result struct {
+	Member
+	From    wire.ServerID
+	Decoded any
+	Payload []byte
+	Err     error
+}
+
+// Gather fetches all members concurrently — the scatter-gather fan-out
+// that reconstruction, rebuild, and the cleaner are built on. Each
+// member respects its server's bounded fetch queue; a member whose
+// preferred server fails it falls back to broadcast discovery. Gather
+// always returns one Result per member, in order; callers decide whether
+// individual failures are fatal (reconstruction needs every survivor,
+// the cleaner tolerates absent members).
+func (e *Engine) Gather(members []Member) []Result {
+	e.bump(func(s *Stats) {
+		s.Gathers++
+		s.GatherMembers += int64(len(members))
+	})
+	out := make([]Result, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			out[i] = e.fetchMember(m)
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchMember fetches one gathered fragment: preferred server first,
+// broadcast discovery as the fallback.
+func (e *Engine) fetchMember(m Member) Result {
+	res := Result{Member: m}
+	if conn := e.byID[m.Server]; conn != nil {
+		res.Decoded, res.Payload, res.Err = e.Fetch(conn, m.FID)
+		if res.Err == nil {
+			res.From = m.Server
+			return res
+		}
+	}
+	conn, _, err := e.Locate(m.FID)
+	if err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		return res
+	}
+	res.Decoded, res.Payload, res.Err = e.Fetch(conn, m.FID)
+	if res.Err == nil {
+		res.From = conn.ID()
+	}
+	return res
+}
+
+// Locate finds a server holding fid by broadcasting to the cluster —
+// the self-hosting discovery of §2.3.3. Concurrent Locate calls for the
+// same FID share one broadcast; shared reports whether this caller
+// joined an in-flight discovery rather than performing its own.
+func (e *Engine) Locate(fid wire.FID) (conn transport.ServerConn, shared bool, err error) {
+	v, shared, err := e.locates.do(fid, func() (any, error) {
+		e.bump(func(s *Stats) { s.Broadcasts++ })
+		found := transport.Broadcast(e.servers, fid)
+		if len(found) == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrNotFound, fid)
+		}
+		return found[0], nil
+	})
+	if shared {
+		e.bump(func(s *Stats) { s.SharedLocates++ })
+	}
+	if err != nil {
+		return nil, shared, err
+	}
+	return v.(transport.ServerConn), shared, nil
+}
+
+// Single runs fn once per concurrently-requested FID: callers that
+// arrive while fn is in flight wait for and share its result instead of
+// executing their own copy. Reconstruction uses this so N concurrent
+// readers of the same lost fragment pay one stripe fan-out.
+func (e *Engine) Single(fid wire.FID, fn func() (any, error)) (v any, shared bool, err error) {
+	v, shared, err = e.flights.do(fid, fn)
+	if shared {
+		e.bump(func(s *Stats) { s.SharedFlights++ })
+	}
+	return v, shared, err
+}
+
+// -------------------------------------------------------------- storing
+
+// selfRetrying reports whether conn carries its own retry/backoff layer
+// (the resilient transport); the engine must not stack retries on top of
+// it — that would multiply attempts against a down server.
+func selfRetrying(conn transport.ServerConn) bool {
+	_, ok := conn.(transport.HealthReporter)
+	return ok
+}
+
+// transient mirrors the resilient layer's classification: a
+// *wire.StatusError is the server's authoritative answer and is never
+// worth retrying; anything else is a transport-level failure that might
+// succeed on a second attempt.
+func transient(err error) bool {
+	var se *wire.StatusError
+	return err != nil && !errors.As(err, &se)
+}
+
+// Store writes a fragment with the engine's unified retry policy: one
+// extra attempt for transient failures on bare connections (a response
+// lost after the server committed surfaces as StatusExists on the
+// retry), no engine-level retries when the connection already has a
+// resilience layer. StatusExists maps to success either way — the
+// fragment is committed, which is what the caller asked for.
+func (e *Engine) Store(conn transport.ServerConn, fid wire.FID, frame []byte, mark bool, ranges []wire.ACLRange) error {
+	e.bump(func(s *Stats) { s.Stores++ })
+	err := conn.Store(fid, frame, mark, ranges)
+	if transient(err) && !selfRetrying(conn) {
+		e.bump(func(s *Stats) { s.StoreRetries++ })
+		err = conn.Store(fid, frame, mark, ranges)
+	}
+	if wire.IsStatus(err, wire.StatusExists) {
+		err = nil
+	}
+	return err
+}
+
+// StoreAsync dispatches Store on the server's bounded store queue. It
+// blocks while the server's pipeline is full — the write flow control of
+// §2.1.2 — then returns with the store running in the background. done
+// is invoked with the final error (nil on success) before the store is
+// counted complete, so a Wait that returns has observed every done
+// callback's effects.
+func (e *Engine) StoreAsync(conn transport.ServerConn, fid wire.FID, frame []byte, mark bool, ranges []wire.ACLRange, done func(error)) {
+	sem := e.storeSems[conn.ID()]
+	sem <- struct{}{}
+	e.mu.Lock()
+	e.inflight++
+	e.mu.Unlock()
+	go func() {
+		err := e.Store(conn, fid, frame, mark, ranges)
+		done(err)
+		<-sem
+		e.mu.Lock()
+		e.inflight--
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
+}
+
+// Wait blocks until every dispatched asynchronous store has completed
+// (and its done callback has run).
+func (e *Engine) Wait() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}

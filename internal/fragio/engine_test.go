@@ -1,0 +1,370 @@
+package fragio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// testFormat is a toy frame: an 8-byte header holding the payload length
+// and a byte-sum checksum.
+type testFormat struct{}
+
+func (testFormat) HeaderSize() uint32 { return 8 }
+
+func (testFormat) Parse(fid wire.FID, hdr []byte) (any, uint32, error) {
+	if len(hdr) != 8 {
+		return nil, 0, fmt.Errorf("short header: %d", len(hdr))
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	return sum, n, nil
+}
+
+func (testFormat) Verify(decoded any, payload []byte) error {
+	var sum uint32
+	for _, b := range payload {
+		sum += uint32(b)
+	}
+	if sum != decoded.(uint32) {
+		return errors.New("checksum mismatch")
+	}
+	return nil
+}
+
+func frame(payload []byte) []byte {
+	var sum uint32
+	for _, b := range payload {
+		sum += uint32(b)
+	}
+	f := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(f, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:], sum)
+	copy(f[8:], payload)
+	return f
+}
+
+// fakeConn is an in-memory ServerConn with injectable latency and
+// failures.
+type fakeConn struct {
+	id wire.ServerID
+
+	mu      sync.Mutex
+	frags   map[wire.FID][]byte
+	latency time.Duration
+
+	storeErrs  []error // shifted per Store call; nil entry = real store
+	storeCalls atomic.Int64
+	readCalls  atomic.Int64
+	hasCalls   atomic.Int64
+}
+
+func newFakeConn(id wire.ServerID) *fakeConn {
+	return &fakeConn{id: id, frags: make(map[wire.FID][]byte)}
+}
+
+func (c *fakeConn) put(fid wire.FID, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frags[fid] = frame(payload)
+}
+
+func (c *fakeConn) setLatency(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latency = d
+}
+
+func (c *fakeConn) sleep() {
+	c.mu.Lock()
+	d := c.latency
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (c *fakeConn) ID() wire.ServerID { return c.id }
+
+func (c *fakeConn) Store(fid wire.FID, data []byte, mark bool, ranges []wire.ACLRange) error {
+	c.storeCalls.Add(1)
+	c.sleep()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.storeErrs) > 0 {
+		err := c.storeErrs[0]
+		c.storeErrs = c.storeErrs[1:]
+		if err != nil {
+			return err
+		}
+	}
+	c.frags[fid] = append([]byte(nil), data...)
+	return nil
+}
+
+func (c *fakeConn) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	c.readCalls.Add(1)
+	c.sleep()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.frags[fid]
+	if !ok {
+		return nil, &wire.StatusError{Status: wire.StatusNotFound}
+	}
+	if int(off+n) > len(f) {
+		return nil, &wire.StatusError{Status: wire.StatusBadRequest}
+	}
+	return append([]byte(nil), f[off:off+n]...), nil
+}
+
+func (c *fakeConn) Delete(fid wire.FID) error   { return nil }
+func (c *fakeConn) Prealloc(fid wire.FID) error { return nil }
+func (c *fakeConn) LastMarked(client wire.ClientID) (wire.FID, bool, error) {
+	return 0, false, nil
+}
+
+func (c *fakeConn) Has(fid wire.FID) (uint32, bool, error) {
+	c.hasCalls.Add(1)
+	c.sleep()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.frags[fid]
+	return uint32(len(f)), ok, nil
+}
+
+func (c *fakeConn) List(client wire.ClientID) ([]wire.FID, error) { return nil, nil }
+func (c *fakeConn) ACLCreate(members []wire.ClientID) (wire.AID, error) {
+	return 0, errors.New("unsupported")
+}
+func (c *fakeConn) ACLModify(aid wire.AID, add, remove []wire.ClientID) error { return nil }
+func (c *fakeConn) ACLDelete(aid wire.AID) error                              { return nil }
+func (c *fakeConn) Stat() (wire.StatResponse, error)                          { return wire.StatResponse{}, nil }
+func (c *fakeConn) Ping() error                                               { return nil }
+func (c *fakeConn) Close() error                                              { return nil }
+
+// retryingConn marks a fakeConn as carrying its own resilience layer by
+// implementing transport.HealthReporter.
+type retryingConn struct{ *fakeConn }
+
+func (retryingConn) Health() transport.Health { return transport.Health{} }
+
+func newEngine(conns ...transport.ServerConn) *Engine {
+	return New(conns, Options{Format: testFormat{}})
+}
+
+func fid(seq uint64) wire.FID { return wire.MakeFID(1, seq) }
+
+func TestFetchValidates(t *testing.T) {
+	c := newFakeConn(1)
+	payload := []byte("hello fragment")
+	c.put(fid(7), payload)
+	e := newEngine(c)
+	_, got, err := e.Fetch(c, fid(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	// Corrupt the stored payload: Fetch must refuse it.
+	c.mu.Lock()
+	c.frags[fid(7)][9]++
+	c.mu.Unlock()
+	if _, _, err := e.Fetch(c, fid(7)); err == nil {
+		t.Fatal("fetch of corrupted fragment succeeded")
+	}
+}
+
+func TestGatherParallel(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	var conns []transport.ServerConn
+	var members []Member
+	for i := 0; i < 4; i++ {
+		c := newFakeConn(wire.ServerID(i + 1))
+		c.put(fid(uint64(i)), []byte{byte(i)})
+		c.setLatency(lat)
+		conns = append(conns, c)
+		members = append(members, Member{FID: fid(uint64(i)), Server: c.ID()})
+	}
+	e := newEngine(conns...)
+	start := time.Now()
+	results := e.Gather(members)
+	elapsed := time.Since(start)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("member %d: %v", i, r.Err)
+		}
+		if r.From != members[i].Server {
+			t.Errorf("member %d served by %d, want %d", i, r.From, members[i].Server)
+		}
+	}
+	// Each member costs two latency-injected reads (header + payload).
+	// Serial would be 4 members x 2 reads x 30ms = 240ms; the fan-out
+	// should land near one member's cost. Allow generous slack.
+	if serial := 8 * lat; elapsed >= serial/2 {
+		t.Fatalf("gather took %v, want well under serial %v", elapsed, serial)
+	}
+}
+
+func TestGatherBroadcastFallback(t *testing.T) {
+	holder := newFakeConn(1)
+	other := newFakeConn(2)
+	holder.put(fid(3), []byte("misplaced"))
+	e := newEngine(holder, other)
+	// Wrong server hint: the engine must fall back to broadcast.
+	res := e.Gather([]Member{{FID: fid(3), Server: 2}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].From != 1 {
+		t.Fatalf("served by %d, want 1", res[0].From)
+	}
+	if st := e.Stats(); st.Broadcasts != 1 {
+		t.Fatalf("broadcasts = %d, want 1", st.Broadcasts)
+	}
+}
+
+func TestSingleDedupes(t *testing.T) {
+	e := newEngine(newFakeConn(1))
+	var runs atomic.Int64
+	release := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	vals := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _, errs[i] = e.Single(fid(9), func() (any, error) {
+				runs.Add(1)
+				<-release
+				return "result", nil
+			})
+		}(i)
+	}
+	// Let every caller reach the flight before it lands.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("function ran %d times, want 1", got)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || vals[i] != "result" {
+			t.Fatalf("caller %d: val=%v err=%v", i, vals[i], errs[i])
+		}
+	}
+	if st := e.Stats(); st.SharedFlights != callers-1 {
+		t.Fatalf("shared flights = %d, want %d", st.SharedFlights, callers-1)
+	}
+}
+
+func TestLocateDedupes(t *testing.T) {
+	c := newFakeConn(1)
+	c.put(fid(5), []byte("x"))
+	c.setLatency(20 * time.Millisecond)
+	e := newEngine(c)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := e.Locate(fid(5)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.hasCalls.Load(); got != 1 {
+		t.Fatalf("broadcast probes = %d, want 1 (singleflight)", got)
+	}
+}
+
+func TestLocateNotFound(t *testing.T) {
+	e := newEngine(newFakeConn(1))
+	if _, _, err := e.Locate(fid(99)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreRetriesBareConn(t *testing.T) {
+	c := newFakeConn(1)
+	c.storeErrs = []error{transport.ErrUnavailable} // transient once
+	e := newEngine(c)
+	if err := e.Store(c, fid(1), frame(nil), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.storeCalls.Load(); got != 2 {
+		t.Fatalf("store attempts = %d, want 2 (one retry)", got)
+	}
+	if st := e.Stats(); st.StoreRetries != 1 {
+		t.Fatalf("retries = %d, want 1", st.StoreRetries)
+	}
+}
+
+func TestStoreDoesNotStackRetries(t *testing.T) {
+	c := newFakeConn(1)
+	c.storeErrs = []error{transport.ErrUnavailable, transport.ErrUnavailable}
+	rc := retryingConn{c}
+	e := newEngine(rc)
+	// The conn reports its own resilience layer: the engine must issue
+	// exactly one attempt and surface the error as-is.
+	if err := e.Store(rc, fid(1), frame(nil), false, nil); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := c.storeCalls.Load(); got != 1 {
+		t.Fatalf("store attempts = %d, want 1 (no engine retry)", got)
+	}
+}
+
+func TestStoreNoRetryOnAuthoritativeError(t *testing.T) {
+	c := newFakeConn(1)
+	c.storeErrs = []error{&wire.StatusError{Status: wire.StatusNoSpace}}
+	e := newEngine(c)
+	if err := e.Store(c, fid(1), frame(nil), false, nil); !wire.IsStatus(err, wire.StatusNoSpace) {
+		t.Fatalf("err = %v, want no-space", err)
+	}
+	if got := c.storeCalls.Load(); got != 1 {
+		t.Fatalf("store attempts = %d, want 1 (status errors are final)", got)
+	}
+}
+
+func TestStoreExistsIsSuccess(t *testing.T) {
+	c := newFakeConn(1)
+	c.storeErrs = []error{transport.ErrUnavailable, &wire.StatusError{Status: wire.StatusExists}}
+	e := newEngine(c)
+	// Lost response then Exists on retry: the fragment committed.
+	if err := e.Store(c, fid(1), frame(nil), false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAsyncFlowControlAndWait(t *testing.T) {
+	c := newFakeConn(1)
+	c.setLatency(10 * time.Millisecond)
+	e := New([]transport.ServerConn{c}, Options{Format: testFormat{}, StoreDepth: 1})
+	var done atomic.Int64
+	for i := 0; i < 3; i++ {
+		e.StoreAsync(c, fid(uint64(i)), frame([]byte{byte(i)}), false, nil, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done.Add(1)
+		})
+	}
+	e.Wait()
+	if got := done.Load(); got != 3 {
+		t.Fatalf("done callbacks = %d, want 3", got)
+	}
+	if got := c.storeCalls.Load(); got != 3 {
+		t.Fatalf("stores = %d, want 3", got)
+	}
+}
