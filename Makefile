@@ -3,15 +3,16 @@ GO ?= go
 # Total statement coverage (make cover) must not drop below this.
 COVER_FLOOR ?= 75
 
-.PHONY: ci check vet build test race chaos cover bench-strict
+.PHONY: ci check vet build test race chaos cover bench-strict bench-smoke
 
 .DEFAULT_GOAL := ci
 
 # The CI gate — what `make` with no arguments runs: static checks, the
-# full test suite, and a race pass over the packages with real
-# concurrency (the transport, the fragment I/O engine, and the
-# striped-log core, including the chaos harness in the root package).
-ci: vet build test race
+# full test suite, a race pass over the packages with real concurrency
+# (the transport, the fragment I/O engine, and the striped-log core,
+# including the chaos harness in the root package), the coverage floor,
+# and a small benchmark smoke run.
+ci: vet build test race cover bench-smoke
 
 # Historical alias for the same gate.
 check: ci
@@ -47,3 +48,9 @@ cover:
 # throughput-ratio assertions enabled (needs an unloaded machine).
 bench-strict:
 	SWARM_BENCH_STRICT=1 $(GO) test ./internal/bench
+
+# A tiny wirepath run (serial vs multiplexed wire path, see DESIGN.md
+# §3.9) as a CI smoke check. Shape only by default; set
+# SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratio.
+bench-smoke:
+	$(GO) test -count=1 -run 'TestWirepath' ./internal/bench

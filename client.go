@@ -41,6 +41,12 @@ type ClientOptions struct {
 	// the fragment I/O engine (reads, reconstruction, rebuild, recovery,
 	// and the cleaner all share it). Default 4.
 	FetchConcurrency int
+	// MaxInFlight bounds concurrent RPCs multiplexed on each pooled TCP
+	// connection (default transport.DefaultMaxInFlight). Raise it along
+	// with FetchConcurrency when wide fan-outs must not queue behind one
+	// another; 1 forces lock-step request/response per connection.
+	// In-process clusters connect directly and ignore this.
+	MaxInFlight int
 	// PreallocStripes reserves stripe slots on the servers when a stripe
 	// opens, guaranteeing started stripes (and their parity) can always
 	// be stored even if other clients fill the servers meanwhile.
@@ -82,10 +88,11 @@ type Client struct {
 // running swarmd processes, in cluster order) and opens/recovers the
 // client's log.
 func ConnectAddrs(id ClientID, addrs []string, opts ClientOptions) (*Client, error) {
+	tcpOpts := transport.TCPOptions{PoolSize: opts.PipelineDepth, MaxInFlight: opts.MaxInFlight}
 	conns := make([]transport.ServerConn, 0, len(addrs))
 	for i, addr := range addrs {
 		var sc transport.ServerConn
-		tc, err := transport.DialTCP(ServerID(i+1), addr, id, opts.PipelineDepth)
+		tc, err := transport.DialTCPOpts(ServerID(i+1), addr, id, tcpOpts)
 		switch {
 		case err == nil:
 			sc = tc
@@ -95,7 +102,7 @@ func ConnectAddrs(id ClientID, addrs []string, opts ClientOptions) (*Client, err
 			// reconstruct and writes degrade around the dead member), so
 			// fall back to a lazily-dialed connection and let the
 			// circuit breaker track the outage until the server answers.
-			sc = transport.NewTCPConn(ServerID(i+1), addr, id, opts.PipelineDepth)
+			sc = transport.NewTCPConnOpts(ServerID(i+1), addr, id, tcpOpts)
 		default:
 			for _, c := range conns {
 				c.Close()
@@ -145,6 +152,7 @@ func connect(id ClientID, conns []transport.ServerConn, opts ClientOptions) (*Cl
 		DisableParity:      opts.DisableParity,
 		PipelineDepth:      opts.PipelineDepth,
 		FetchConcurrency:   opts.FetchConcurrency,
+		MaxInFlight:        opts.MaxInFlight,
 		PreallocStripes:    opts.PreallocStripes,
 		ReadaheadFragments: opts.ReadaheadFragments,
 		ACLs:               acls,

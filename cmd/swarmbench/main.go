@@ -28,19 +28,20 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_wirepath.json)")
 		verbose = flag.Bool("v", false, "print progress")
 	)
 	flag.Parse()
-	if err := run(*fig, *scale, *blocks, *verbose); err != nil {
+	if err := run(*fig, *scale, *blocks, *jsonOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, scale float64, blocks int, verbose bool) error {
+func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 	progress := func(string) {}
 	if verbose {
 		progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
@@ -120,6 +121,21 @@ func run(fig string, scale float64, blocks int, verbose bool) error {
 		return nil
 	}
 
+	runWirepath := func() error {
+		rows, err := bench.RunWirepath(bench.WirepathConfig{}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintWirepathResults(os.Stdout, rows)
+		if jsonOut {
+			if err := bench.WriteWirepathJSON("BENCH_wirepath.json", rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_wirepath.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -133,14 +149,16 @@ func run(fig string, scale float64, blocks int, verbose bool) error {
 		return runAblate()
 	case "recon":
 		return runRecon()
+	case "wirepath":
+		return runWirepath()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, all)", fig)
 	}
 }

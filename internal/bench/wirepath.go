@@ -1,0 +1,314 @@
+// Wirepath benchmark: what request-ID multiplexing buys over the old
+// lock-step one-RPC-per-connection transport. A real TCP server is run
+// behind a listener that injects one-way network latency on every inbound
+// byte stream (modeling RTT without breaking pipelining), and the same
+// store workload is driven twice: MaxInFlight 1 (the old engine's
+// behavior — a connection is busy until its response returns) and the
+// multiplexed default. The measurement also reports allocations per RPC,
+// covering both the client encode and server decode paths since the
+// whole stack runs in-process.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// delayedConn injects a fixed one-way delay on the read side of a
+// connection. A pump goroutine stamps each inbound chunk with its
+// arrival time plus the delay; Read delivers chunks no earlier than
+// their stamp. Unlike a sleep in Read, this preserves pipelining: ten
+// back-to-back requests arrive one delay late, not ten.
+type delayedConn struct {
+	net.Conn
+	delay time.Duration
+	ch    chan delayedChunk
+	cur   []byte // unread tail of the current chunk
+	buf   []byte // current chunk's backing buffer (pooled)
+	err   error
+}
+
+type delayedChunk struct {
+	data  []byte
+	ready time.Time
+	err   error
+}
+
+func newDelayedConn(c net.Conn, delay time.Duration) *delayedConn {
+	dc := &delayedConn{Conn: c, delay: delay, ch: make(chan delayedChunk, 1024)}
+	go dc.pump()
+	return dc
+}
+
+func (dc *delayedConn) pump() {
+	for {
+		// Chunks cycle through the wire buffer pool so the harness's own
+		// allocations don't pollute the benchmark's allocs-per-RPC.
+		buf := wire.GetBuffer(64 << 10)
+		n, err := dc.Conn.Read(buf)
+		if n > 0 {
+			dc.ch <- delayedChunk{data: buf[:n], ready: time.Now().Add(dc.delay)}
+		} else {
+			wire.PutBuffer(buf)
+		}
+		if err != nil {
+			dc.ch <- delayedChunk{err: err, ready: time.Now().Add(dc.delay)}
+			return
+		}
+	}
+}
+
+func (dc *delayedConn) Read(p []byte) (int, error) {
+	for len(dc.cur) == 0 {
+		if dc.buf != nil {
+			wire.PutBuffer(dc.buf)
+			dc.buf = nil
+		}
+		if dc.err != nil {
+			return 0, dc.err
+		}
+		c := <-dc.ch
+		if wait := time.Until(c.ready); wait > 0 {
+			time.Sleep(wait)
+		}
+		if c.err != nil {
+			dc.err = c.err
+			return 0, c.err
+		}
+		dc.cur, dc.buf = c.data, c.data
+	}
+	n := copy(p, dc.cur)
+	dc.cur = dc.cur[n:]
+	return n, nil
+}
+
+// delayListener wraps every accepted connection in a delayedConn.
+type delayListener struct {
+	net.Listener
+	delay time.Duration
+}
+
+func (l delayListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newDelayedConn(c, l.delay), nil
+}
+
+// WirepathConfig parameterizes the serial-vs-multiplexed comparison.
+type WirepathConfig struct {
+	// Stores is the number of store RPCs per mode.
+	Stores int
+	// PayloadKB is the fragment payload size per store.
+	PayloadKB int
+	// Pool is the TCP connection pool size (the paper point is pool 2).
+	Pool int
+	// MaxInFlight is the multiplexed mode's per-connection RPC budget.
+	MaxInFlight int
+	// Workers is the number of concurrent RPC issuers.
+	Workers int
+	// RTT is the injected one-way network latency.
+	RTT time.Duration
+}
+
+func (c WirepathConfig) withDefaults() WirepathConfig {
+	if c.Stores == 0 {
+		c.Stores = 256
+	}
+	if c.PayloadKB == 0 {
+		c.PayloadKB = 256
+	}
+	if c.Pool == 0 {
+		c.Pool = 2
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 32
+	}
+	if c.RTT == 0 {
+		c.RTT = 5 * time.Millisecond
+	}
+	return c
+}
+
+// WirepathResult is one mode's measurement.
+type WirepathResult struct {
+	Mode          string  `json:"mode"` // "lockstep" or "multiplexed"
+	Stores        int     `json:"stores"`
+	PayloadKB     int     `json:"payload_kb"`
+	Pool          int     `json:"pool"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	RTTMillis     float64 `json:"rtt_ms"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	MBps          float64 `json:"mb_per_s"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	KBAllocdPerOp float64 `json:"kb_allocated_per_op"`
+}
+
+// RunWirepath measures the same store workload in lock-step
+// (MaxInFlight 1) and multiplexed mode over a Pool-connection TCP
+// transport with injected RTT. Results come back in that order.
+func RunWirepath(cfg WirepathConfig, progress func(string)) ([]WirepathResult, error) {
+	cfg = cfg.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+	modes := []struct {
+		name        string
+		maxInFlight int
+	}{
+		{"lockstep", 1},
+		{"multiplexed", cfg.MaxInFlight},
+	}
+	var out []WirepathResult
+	for _, m := range modes {
+		progress(fmt.Sprintf("wirepath: %s (pool %d, in-flight %d, rtt %v)",
+			m.name, cfg.Pool, m.maxInFlight, cfg.RTT))
+		r, err := runWirepathMode(cfg, m.name, m.maxInFlight)
+		if err != nil {
+			return out, fmt.Errorf("wirepath %s: %w", m.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runWirepathMode(cfg WirepathConfig, mode string, maxInFlight int) (WirepathResult, error) {
+	fragSize := cfg.PayloadKB << 10
+	diskSize := int64(cfg.Stores+16)*int64(fragSize) + (8 << 20)
+	st, err := server.Format(disk.NewMemDisk(diskSize), server.Config{FragmentSize: fragSize})
+	if err != nil {
+		return WirepathResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return WirepathResult{}, err
+	}
+	srv := server.Serve(st, delayListener{Listener: ln, delay: cfg.RTT}, nil)
+	defer srv.Close()
+
+	sc, err := transport.DialTCPOpts(1, ln.Addr().String(), 1,
+		transport.TCPOptions{PoolSize: cfg.Pool, MaxInFlight: maxInFlight})
+	if err != nil {
+		return WirepathResult{}, err
+	}
+	defer sc.Close()
+
+	payload := make([]byte, fragSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Stores) {
+					return
+				}
+				if err := sc.Store(wire.MakeFID(1, uint64(i)), payload, false, nil); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return WirepathResult{}, err
+	}
+
+	mb := float64(cfg.Stores) * float64(fragSize) / (1 << 20)
+	return WirepathResult{
+		Mode:        mode,
+		Stores:      cfg.Stores,
+		PayloadKB:   cfg.PayloadKB,
+		Pool:        cfg.Pool,
+		MaxInFlight: maxInFlight,
+		RTTMillis:   float64(cfg.RTT) / float64(time.Millisecond),
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+		MBps:        mb / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(cfg.Stores),
+		KBAllocdPerOp: float64(after.TotalAlloc-before.TotalAlloc) /
+			float64(cfg.Stores) / 1024,
+	}, nil
+}
+
+// WirepathSpeedup returns multiplexed MB/s over lock-step MB/s.
+func WirepathSpeedup(rows []WirepathResult) float64 {
+	var lock, mux float64
+	for _, r := range rows {
+		switch r.Mode {
+		case "lockstep":
+			lock = r.MBps
+		case "multiplexed":
+			mux = r.MBps
+		}
+	}
+	if lock == 0 {
+		return 0
+	}
+	return mux / lock
+}
+
+// PrintWirepathResults renders the comparison table.
+func PrintWirepathResults(w io.Writer, rows []WirepathResult) {
+	fmt.Fprintf(w, "Wirepath — lock-step vs multiplexed store RPCs (pool %d, %d KB payloads, %.0f ms one-way latency)\n",
+		rows[0].Pool, rows[0].PayloadKB, rows[0].RTTMillis)
+	fmt.Fprintf(w, "%-14s %-10s %-12s %-10s %-10s %-12s %s\n",
+		"mode", "in-flight", "stores", "elapsed", "MB/s", "allocs/op", "KB alloc/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10d %-12d %-10s %-10.1f %-12.0f %.0f\n",
+			r.Mode, r.MaxInFlight, r.Stores,
+			(time.Duration(r.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond).String(),
+			r.MBps, r.AllocsPerOp, r.KBAllocdPerOp)
+	}
+	fmt.Fprintf(w, "speedup: %.2fx\n\n", WirepathSpeedup(rows))
+}
+
+// WriteWirepathJSON writes the machine-readable benchmark record
+// (consumed by CI and tracked across PRs in EXPERIMENTS.md).
+func WriteWirepathJSON(path string, rows []WirepathResult) error {
+	doc := struct {
+		Figure    string           `json:"figure"`
+		Generated string           `json:"generated"`
+		Speedup   float64          `json:"speedup"`
+		Results   []WirepathResult `json:"results"`
+	}{
+		Figure:    "wirepath",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Speedup:   WirepathSpeedup(rows),
+		Results:   rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smokeWirepathConfig is deliberately tiny: enough RPCs at enough
+// latency that the multiplexed/lock-step shape is visible, small enough
+// for the default `make ci` run (`make bench-smoke`).
+var smokeWirepathConfig = WirepathConfig{
+	Stores:    48,
+	PayloadKB: 64,
+	Pool:      2,
+	Workers:   16,
+	RTT:       3 * time.Millisecond,
+}
+
+func TestWirepathSmoke(t *testing.T) {
+	rows, err := RunWirepath(smokeWirepathConfig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "lockstep" || rows[1].Mode != "multiplexed" {
+		t.Fatalf("unexpected result shape: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.MBps <= 0 || r.ElapsedMS <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Mode, r)
+		}
+	}
+	PrintWirepathResults(io.Discard, rows)
+
+	path := filepath.Join(t.TempDir(), "BENCH_wirepath.json")
+	if err := WriteWirepathJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("json record not written: %v", err)
+	}
+
+	// The throughput-ratio assertion depends on real host scheduling, so
+	// it is opt-in (SWARM_BENCH_STRICT) like the other benchmark ratios.
+	speedup := WirepathSpeedup(rows)
+	if benchStrict() {
+		if speedup < 2 {
+			t.Errorf("multiplexed/lock-step speedup %.2fx, want >= 2x at pool %d with %v RTT",
+				speedup, smokeWirepathConfig.Pool, smokeWirepathConfig.RTT)
+		}
+	} else if speedup < 1 {
+		t.Logf("note: multiplexed slower than lock-step (%.2fx) on this host", speedup)
+	}
+}
+
+// TestWirepathAllocs pins the wire path's allocation behavior end to end
+// (client encode, server decode, response handling) under the real TCP
+// stack: per-RPC allocated bytes must stay far below the payload size,
+// i.e. no hidden fragment copies anywhere on the path.
+func TestWirepathAllocs(t *testing.T) {
+	skipUnderRace(t) // the race runtime instruments allocations
+	cfg := smokeWirepathConfig
+	cfg.RTT = time.Microsecond // allocation-focused: latency irrelevant
+	rows, err := RunWirepath(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Payload is 64 KB; a copy anywhere would push KB-allocated/op
+		// past it. The pooled steady state stays well under half.
+		if r.KBAllocdPerOp > float64(cfg.PayloadKB)/2 {
+			t.Errorf("%s: %.0f KB allocated per %d KB store RPC — fragment copies on the wire path",
+				r.Mode, r.KBAllocdPerOp, cfg.PayloadKB)
+		}
+	}
+}

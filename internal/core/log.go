@@ -67,6 +67,11 @@ type Config struct {
 	// the fragment I/O engine — the fan-out width available to stripe
 	// reconstruction, cleaner scans, recovery, and readahead. Default 4.
 	FetchConcurrency int
+	// MaxInFlight, when positive, caps combined concurrent operations
+	// (stores + fetches) per server in the engine, matching the
+	// transport's per-connection multiplexing budget. 0 means no
+	// combined cap.
+	MaxInFlight int
 	// ACLs, when non-empty, protects every stored fragment with the
 	// given per-server access control list (each server assigns its own
 	// AIDs, hence the map). Fragments are stored with a single byte
@@ -222,9 +227,10 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		l.byServer[sc.ID()] = sc
 	}
 	l.engine = fragio.New(cfg.Servers, fragio.Options{
-		Format:     frameFormat{},
-		StoreDepth: cfg.PipelineDepth,
-		FetchDepth: cfg.FetchConcurrency,
+		Format:      frameFormat{},
+		StoreDepth:  cfg.PipelineDepth,
+		FetchDepth:  cfg.FetchConcurrency,
+		MaxInFlight: cfg.MaxInFlight,
 	})
 	// Sanity-check the fragment size against every reachable server: a
 	// mismatch would otherwise surface as confusing store failures deep

@@ -370,6 +370,14 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 		idxOf = append(idxOf, i)
 	}
 	results := l.engine.Gather(members)
+	// Member payloads are only XORed into the rebuilt fragment below;
+	// nothing past this function aliases them, so they go back to the
+	// transport's buffer pool on every exit path.
+	defer func() {
+		for _, r := range results {
+			wire.PutBuffer(r.Payload)
+		}
+	}()
 	var (
 		parityHdr     Header
 		parityPayload []byte
@@ -498,6 +506,7 @@ func (l *Log) fetchSiblingHeader(fid wire.FID) (*Header, error) {
 		}
 	}
 	h, err := DecodeHeader(hdrBytes)
+	wire.PutBuffer(hdrBytes) // DecodeHeader copies into h
 	if err != nil {
 		return nil, err
 	}

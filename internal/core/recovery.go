@@ -349,6 +349,12 @@ func (l *Log) VerifyStripe(stripe uint64) error {
 	}
 	l.mu.Unlock()
 	results := l.engine.Gather(members)
+	// Payloads are XORed/compared and die here; recycle them.
+	defer func() {
+		for _, r := range results {
+			wire.PutBuffer(r.Payload)
+		}
+	}()
 	acc := make([]byte, l.payloadSize)
 	var parityPayload []byte
 	var parityLen uint32

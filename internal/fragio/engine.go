@@ -66,6 +66,14 @@ type Options struct {
 	// bursts from reconstruction, the cleaner, and readahead don't flood
 	// one server. Default 4.
 	FetchDepth int
+	// MaxInFlight, when > 0, caps combined concurrent operations (stores
+	// + fetches) per server. It exists to match the transport layer's
+	// per-connection multiplexing budget (transport.TCPOptions.MaxInFlight
+	// × pool size): capping here keeps requests queued client-side, where
+	// they can be reordered and cancelled, instead of deep in socket
+	// buffers. 0 leaves stores and fetches bounded only by their own
+	// depths.
+	MaxInFlight int
 }
 
 // Stats counts engine activity. Retrieve a snapshot with Engine.Stats.
@@ -101,6 +109,7 @@ type Engine struct {
 
 	storeSems map[wire.ServerID]chan struct{}
 	fetchSems map[wire.ServerID]chan struct{}
+	opSems    map[wire.ServerID]chan struct{} // optional combined cap
 
 	flights singleflight // reconstruction and other per-FID work
 	locates singleflight // broadcast discovery
@@ -129,10 +138,16 @@ func New(servers []transport.ServerConn, opts Options) *Engine {
 	e.cond = sync.NewCond(&e.mu)
 	e.flights.init()
 	e.locates.init()
+	if opts.MaxInFlight > 0 {
+		e.opSems = make(map[wire.ServerID]chan struct{}, len(servers))
+	}
 	for _, sc := range servers {
 		e.byID[sc.ID()] = sc
 		e.storeSems[sc.ID()] = make(chan struct{}, opts.StoreDepth)
 		e.fetchSems[sc.ID()] = make(chan struct{}, opts.FetchDepth)
+		if e.opSems != nil {
+			e.opSems[sc.ID()] = make(chan struct{}, opts.MaxInFlight)
+		}
 	}
 	return e
 }
@@ -150,6 +165,20 @@ func (e *Engine) Conn(id wire.ServerID) transport.ServerConn { return e.byID[id]
 
 func (e *Engine) acquireFetch(id wire.ServerID) func() {
 	sem, ok := e.fetchSems[id]
+	if !ok {
+		return func() {}
+	}
+	sem <- struct{}{}
+	releaseOp := e.acquireOp(id)
+	return func() { releaseOp(); <-sem }
+}
+
+// acquireOp takes a slot in the server's combined in-flight cap (a no-op
+// when MaxInFlight is unset). Always acquired after the store/fetch
+// depth semaphore — one consistent order, so the two levels cannot
+// deadlock against each other.
+func (e *Engine) acquireOp(id wire.ServerID) func() {
+	sem, ok := e.opSems[id]
 	if !ok {
 		return func() {}
 	}
@@ -186,6 +215,9 @@ func (e *Engine) Fetch(conn transport.ServerConn, fid wire.FID) (any, []byte, er
 		return nil, nil, err
 	}
 	decoded, payloadLen, err := e.format.Parse(fid, hdrBytes)
+	// Parse decodes into its own representation (the Format contract),
+	// so the raw header buffer can go back to the transport's pool.
+	wire.PutBuffer(hdrBytes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -353,12 +385,14 @@ func (e *Engine) Store(conn transport.ServerConn, fid wire.FID, frame []byte, ma
 func (e *Engine) StoreAsync(conn transport.ServerConn, fid wire.FID, frame []byte, mark bool, ranges []wire.ACLRange, done func(error)) {
 	sem := e.storeSems[conn.ID()]
 	sem <- struct{}{}
+	releaseOp := e.acquireOp(conn.ID())
 	e.mu.Lock()
 	e.inflight++
 	e.mu.Unlock()
 	go func() {
 		err := e.Store(conn, fid, frame, mark, ranges)
 		done(err)
+		releaseOp()
 		<-sem
 		e.mu.Lock()
 		e.inflight--

@@ -389,8 +389,11 @@ func (s *Store) Read(client wire.ClientID, fid wire.FID, off, n uint32) ([]byte,
 	dataOff := s.slotOff(slot) + int64(off)
 	s.mu.RUnlock()
 
-	buf := make([]byte, n)
+	// Pooled: the TCP server recycles the buffer once the response frame
+	// is written; other callers let it escape to the GC harmlessly.
+	buf := wire.GetBuffer(int(n))
 	if err := s.d.ReadAt(buf, dataOff); err != nil {
+		wire.PutBuffer(buf)
 		return nil, fmt.Errorf("read fragment data: %w", err)
 	}
 	return buf, nil

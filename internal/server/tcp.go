@@ -7,17 +7,28 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"swarm/internal/wire"
 )
 
+// connWorkers bounds the per-connection worker pool: how many requests
+// from one client connection may be in the store concurrently. With the
+// client multiplexing RPCs over each connection, a slow disk op must not
+// head-of-line-block the frames queued behind it.
+const connWorkers = 8
+
 // TCPServer serves the wire protocol over TCP, one goroutine per
-// connection. Responses to one connection are serialized; requests from
-// different connections proceed concurrently against the store.
+// connection plus a bounded worker pool per connection. Responses to one
+// connection are serialized by a write lock; requests — from the same or
+// different connections — proceed concurrently against the store.
 type TCPServer struct {
 	store *Store
 	ln    net.Listener
 	log   *log.Logger
+
+	handleDelay atomic.Int64 // nanoseconds; bench/test hook
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,6 +44,13 @@ func ListenAndServe(store *Store, addr string, logger *log.Logger) (*TCPServer, 
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
+	return Serve(store, ln, logger), nil
+}
+
+// Serve starts a server for store on an existing listener (which the
+// server takes ownership of). It lets tests and benchmarks interpose on
+// the transport — e.g. wrap accepted connections with simulated RTT.
+func Serve(store *Store, ln net.Listener, logger *log.Logger) *TCPServer {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
@@ -44,7 +62,7 @@ func ListenAndServe(store *Store, addr string, logger *log.Logger) (*TCPServer, 
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
@@ -52,6 +70,10 @@ func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 
 // Store returns the underlying fragment store.
 func (s *TCPServer) Store() *Store { return s.store }
+
+// SetHandleDelay adds an artificial delay before each request is handled
+// (0 disables). Benchmarks and tests use it to model slow disks.
+func (s *TCPServer) SetHandleDelay(d time.Duration) { s.handleDelay.Store(int64(d)) }
 
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
@@ -73,6 +95,24 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// connWriter serializes response frames onto one connection. Workers
+// finish requests in completion order, not arrival order; the client
+// demultiplexes by request ID.
+type connWriter struct {
+	c      net.Conn
+	mu     sync.Mutex
+	failed atomic.Bool
+}
+
+func (w *connWriter) write(status wire.Status, op wire.Op, id uint64, msg wire.Message, errText string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if status == wire.StatusOK {
+		return wire.WriteResponse(w.c, op, id, msg)
+	}
+	return wire.WriteErrorResponse(w.c, op, id, status, errText)
+}
+
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -82,29 +122,54 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	r := wire.NewConnReader(conn)
-	w := wire.NewConnWriter(conn)
+	cw := &connWriter{c: conn}
+	jobs := make(chan *wire.Request, connWorkers)
+	var workers sync.WaitGroup
+	for i := 0; i < connWorkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for req := range jobs {
+				s.handleRequest(conn, cw, req)
+			}
+		}()
+	}
 	for {
 		req, err := wire.ReadRequestFrame(r)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.log.Printf("read request: %v", err)
 			}
-			return
+			break
 		}
-		status, msg := s.store.Handle(req.Client, req.Op, req.Body)
-		var werr error
-		if status == wire.StatusOK {
-			werr = wire.WriteResponse(w, req.Op, req.ID, msg)
-		} else {
-			werr = wire.WriteErrorResponse(w, req.Op, req.ID, status, ErrText(msg))
+		jobs <- req
+		if cw.failed.Load() {
+			break
 		}
-		if werr == nil {
-			werr = w.Flush()
+	}
+	close(jobs)
+	workers.Wait()
+}
+
+func (s *TCPServer) handleRequest(conn net.Conn, cw *connWriter, req *wire.Request) {
+	if d := time.Duration(s.handleDelay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	status, msg := s.store.Handle(req.Client, req.Op, req.Body)
+	werr := cw.write(status, req.Op, req.ID, msg, ErrText(msg))
+	// The request body (and for store ops the fragment payload aliasing
+	// it) is dead once Handle returned; a ReadResponse payload is dead
+	// once the response frame is on the wire. Both came from the buffer
+	// pool, so recycle them.
+	wire.PutBuffer(req.Body)
+	if status == wire.StatusOK {
+		if pm, ok := msg.(wire.PayloadMessage); ok {
+			wire.PutBuffer(pm.Payload())
 		}
-		if werr != nil {
-			s.log.Printf("write response: %v", werr)
-			return
-		}
+	}
+	if werr != nil && !cw.failed.Swap(true) {
+		s.log.Printf("write response: %v", werr)
+		conn.Close() // unblocks the connection's frame reader
 	}
 }
 

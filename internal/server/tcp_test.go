@@ -190,3 +190,49 @@ func TestTCPServerCloseIsIdempotentAndUnblocks(t *testing.T) {
 		t.Fatal("store accessor nil")
 	}
 }
+
+// TestTCPServerConcurrentOnOneConnection pins the per-connection worker
+// pool: 8 pipelined requests with a 30ms handle delay must complete in
+// roughly one delay, not eight (the old strictly-serial serveConn).
+func TestTCPServerConcurrentOnOneConnection(t *testing.T) {
+	const (
+		nreq  = 8
+		delay = 30 * time.Millisecond
+	)
+	srv := newTCP(t)
+	srv.SetHandleDelay(delay)
+	defer srv.SetHandleDelay(0)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	for id := uint64(1); id <= nreq; id++ {
+		if err := wire.WriteRequest(conn, wire.OpPing, id, 1, &wire.PingRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]bool, nreq)
+	for i := 0; i < nreq; i++ {
+		rsp, err := wire.ReadResponseFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rsp.Status != wire.StatusOK {
+			t.Fatalf("ping %d: status %v", rsp.ID, rsp.Status)
+		}
+		if seen[rsp.ID] || rsp.ID < 1 || rsp.ID > nreq {
+			t.Fatalf("bad or duplicate response id %d", rsp.ID)
+		}
+		seen[rsp.ID] = true
+	}
+	elapsed := time.Since(start)
+	// Serial handling would need nreq×delay = 240ms; allow generous
+	// scheduling slack above the ~1×delay concurrent cost.
+	if limit := delay*nreq - delay; elapsed >= limit {
+		t.Errorf("8 pipelined requests took %v — head-of-line blocking (serial would be %v)", elapsed, delay*nreq)
+	}
+}

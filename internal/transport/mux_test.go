@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"swarm/internal/disk"
+	"swarm/internal/server"
+	"swarm/internal/wire"
+)
+
+// TestMuxDemuxOutOfOrder drives the multiplexer against a raw server that
+// deliberately answers in reverse arrival order: four concurrent RPCs on
+// ONE connection, each response routed back to its caller by request ID.
+// The old checkout-a-connection transport could not even send the second
+// request before the first response.
+func TestMuxDemuxOutOfOrder(t *testing.T) {
+	const nreq = 4
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			c, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			r := wire.NewConnReader(c)
+			reqs := make([]*wire.Request, 0, nreq)
+			for len(reqs) < nreq {
+				req, err := wire.ReadRequestFrame(r)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			for i := len(reqs) - 1; i >= 0; i-- {
+				req := reqs[i]
+				var rr wire.ReadRequest
+				if err := rr.Decode(wire.NewDecoder(req.Body)); err != nil {
+					return err
+				}
+				// The response payload encodes the request's Len, so a
+				// misrouted response is detectable by content, not just size.
+				data := bytes.Repeat([]byte{byte(rr.Len)}, int(rr.Len))
+				if err := wire.WriteResponse(c, req.Op, req.ID, &wire.ReadResponse{Data: data}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
+
+	sc, err := DialTCPOpts(1, ln.Addr().String(), 1, TCPOptions{PoolSize: 1, MaxInFlight: nreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	fid := wire.MakeFID(1, 0)
+	var wg sync.WaitGroup
+	errs := make(chan error, nreq)
+	for i := 0; i < nreq; i++ {
+		wg.Add(1)
+		go func(n uint32) {
+			defer wg.Done()
+			data, err := sc.Read(fid, 0, n)
+			if err != nil {
+				errs <- fmt.Errorf("read %d: %w", n, err)
+				return
+			}
+			if uint32(len(data)) != n {
+				errs <- fmt.Errorf("read %d: got %d bytes", n, len(data))
+				return
+			}
+			for _, b := range data {
+				if b != byte(n) {
+					errs <- fmt.Errorf("read %d: got a response routed to the wrong request (byte %d)", n, b)
+					return
+				}
+			}
+		}(uint32(10 + i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestMuxLockstepContract runs the full ServerConn contract with
+// MaxInFlight 1 — the degenerate lock-step configuration must behave
+// identically, just slower.
+func TestMuxLockstepContract(t *testing.T) {
+	srv, err := server.ListenAndServe(newStore(t), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sc, err := DialTCPOpts(1, srv.Addr(), 1, TCPOptions{PoolSize: 1, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	exerciseConn(t, sc)
+}
+
+// TestMuxChaosConcurrentRPCs is the demux layer's -race stress: 64
+// concurrent RPC workers over a 2-connection pool, wrapped in Flaky with
+// injected latency and a 5% failure rate. Every injected failure is
+// retried by the caller (the resilient layer's job in production); at the
+// end every fragment must read back intact.
+func TestMuxChaosConcurrentRPCs(t *testing.T) {
+	const (
+		workers  = 64
+		fragSize = testFragSize
+	)
+	st, err := server.Format(disk.NewMemDisk(4<<20), server.Config{FragmentSize: fragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.ListenAndServe(st, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sc, err := DialTCPOpts(1, srv.Addr(), 1, TCPOptions{PoolSize: 2, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlaky(sc)
+	defer fl.Close()
+	fl.SetLatency(500 * time.Microsecond)
+	fl.SetFailureRate(0.05, 42)
+
+	// retry drives an op through injected failures; a real client has the
+	// resilient layer doing exactly this.
+	retry := func(op func() error) error {
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			if err = op(); err == nil || !errors.Is(err, ErrUnavailable) {
+				return err
+			}
+		}
+		return err
+	}
+
+	payload := func(i int) []byte {
+		b := bytes.Repeat([]byte{byte(i)}, 1000)
+		b[0] = byte(i >> 8)
+		return b
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fid := wire.MakeFID(1, uint64(i))
+			err := retry(func() error {
+				err := fl.Store(fid, payload(i), false, nil)
+				// The transport's transparent retry can double-send a
+				// store that already committed; that is success.
+				if wire.IsStatus(err, wire.StatusExists) {
+					return nil
+				}
+				return err
+			})
+			if err != nil {
+				errs <- fmt.Errorf("store %d: %w", i, err)
+				return
+			}
+			var got []byte
+			err = retry(func() error {
+				var rerr error
+				got, rerr = fl.Read(fid, 0, 1000)
+				return rerr
+			})
+			if err != nil {
+				errs <- fmt.Errorf("read %d: %w", i, err)
+				return
+			}
+			if !bytes.Equal(got, payload(i)) {
+				errs <- fmt.Errorf("fragment %d corrupted through the mux", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

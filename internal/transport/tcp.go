@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,33 +16,78 @@ import (
 // flight on the network while the server writes the previous one to disk.
 const DefaultPoolSize = 2
 
-// DefaultIOTimeout bounds each frame exchange (request write plus
-// response read) on a pooled connection, and the dial itself. Without a
-// deadline a hung server — as opposed to a dead one, whose RST fails
-// fast — would stall the caller forever and with it every stripe that
-// includes the server. Override per connection with SetIOTimeout.
+// DefaultMaxInFlight is how many RPCs may ride one pooled connection
+// concurrently. Requests are tagged with IDs and responses demultiplexed
+// by ID, so a connection is a shared pipe, not a checked-out resource;
+// this bounds the pipe's depth. The fragment I/O engine's own per-server
+// semaphores (PipelineDepth, FetchConcurrency) are the workload-level
+// throttles — this knob only needs to be at least their sum to never be
+// the bottleneck.
+const DefaultMaxInFlight = 8
+
+// DefaultIOTimeout bounds each RPC (request write plus response wait) on
+// a pooled connection, and the dial itself. Without a deadline a hung
+// server — as opposed to a dead one, whose RST fails fast — would stall
+// the caller forever and with it every stripe that includes the server.
+// Override per connection with SetIOTimeout.
 const DefaultIOTimeout = 15 * time.Second
 
-// tcpRPC multiplexes RPCs over a small pool of TCP connections. Each RPC
-// checks out one connection for its request/response exchange, so up to
-// poolSize RPCs proceed in parallel.
+// TCPOptions tunes a TCP ServerConn. The zero value selects defaults.
+type TCPOptions struct {
+	// PoolSize is the number of TCP connections kept to the server
+	// (default DefaultPoolSize).
+	PoolSize int
+	// MaxInFlight bounds concurrent RPCs multiplexed on each connection
+	// (default DefaultMaxInFlight). 1 degenerates to lock-step
+	// request/response per connection.
+	MaxInFlight int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = DefaultMaxInFlight
+	}
+	return o
+}
+
+// tcpRPC multiplexes RPCs over a small pool of TCP connections. Each
+// connection has a reader goroutine demultiplexing response frames by
+// request ID, so up to PoolSize × MaxInFlight RPCs proceed in parallel.
 type tcpRPC struct {
 	addr      string
 	client    wire.ClientID
+	opts      TCPOptions
 	nextID    atomic.Uint64
 	ioTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
 
-	pool chan *tcpStream
-
 	mu     sync.Mutex
 	closed bool
-	opened []*tcpStream
+	next   int // round-robin cursor over slots
+	slots  []connSlot
 }
 
-type tcpStream struct {
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
+// connSlot is one position in the connection pool. The muxConn it holds
+// is replaced (by dialing) when the previous one breaks.
+type connSlot struct {
+	dialMu sync.Mutex // serializes dialing this slot
+	mc     atomic.Pointer[muxConn]
+}
+
+// muxConn is one multiplexed TCP connection: a write mutex serializes
+// request frames, a reader goroutine routes response frames to the
+// pending map by ID, and a semaphore bounds in-flight RPCs.
+type muxConn struct {
+	c   net.Conn
+	sem chan struct{}
+	wmu sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Response
+	dead    bool
+	deadErr error
 }
 
 // TCPConn is a ServerConn over the wire protocol.
@@ -53,26 +98,23 @@ type TCPConn struct {
 
 var _ ServerConn = (*TCPConn)(nil)
 
-// DialTCP connects to a storage server at addr as the given client. The
-// pool holds poolSize connections, dialed lazily (poolSize ≤ 0 uses
-// DefaultPoolSize).
+// DialTCP connects to a storage server at addr as the given client with
+// default multiplexing (poolSize ≤ 0 uses DefaultPoolSize).
 func DialTCP(id wire.ServerID, addr string, client wire.ClientID, poolSize int) (*TCPConn, error) {
-	if poolSize <= 0 {
-		poolSize = DefaultPoolSize
-	}
-	r := &tcpRPC{addr: addr, client: client, pool: make(chan *tcpStream, poolSize)}
-	r.ioTimeout.Store(int64(DefaultIOTimeout))
-	// Dial the first connection eagerly so configuration errors surface
-	// at setup time; the rest are created on demand.
-	s, err := r.dial()
+	return DialTCPOpts(id, addr, client, TCPOptions{PoolSize: poolSize})
+}
+
+// DialTCPOpts connects to a storage server at addr as the given client.
+// The first connection is dialed eagerly so configuration errors surface
+// at setup time; the rest are created on demand.
+func DialTCPOpts(id wire.ServerID, addr string, client wire.ClientID, opts TCPOptions) (*TCPConn, error) {
+	c := NewTCPConnOpts(id, addr, client, opts)
+	mc, err := c.rpc.dial()
 	if err != nil {
 		return nil, err
 	}
-	r.pool <- s
-	for i := 1; i < poolSize; i++ {
-		r.pool <- nil // placeholder: dialed on first use
-	}
-	return &TCPConn{conn: conn{id: id, r: r}, rpc: r}, nil
+	c.rpc.slots[0].mc.Store(mc)
+	return c, nil
 }
 
 // NewTCPConn returns a TCP ServerConn whose pooled connections are all
@@ -82,118 +124,244 @@ func DialTCP(id wire.ServerID, addr string, client wire.ClientID, poolSize int) 
 // the connection heals. DialTCP's eager first dial is preferable when
 // configuration errors should surface at setup time.
 func NewTCPConn(id wire.ServerID, addr string, client wire.ClientID, poolSize int) *TCPConn {
-	if poolSize <= 0 {
-		poolSize = DefaultPoolSize
-	}
-	r := &tcpRPC{addr: addr, client: client, pool: make(chan *tcpStream, poolSize)}
+	return NewTCPConnOpts(id, addr, client, TCPOptions{PoolSize: poolSize})
+}
+
+// NewTCPConnOpts is NewTCPConn with explicit multiplexing options.
+func NewTCPConnOpts(id wire.ServerID, addr string, client wire.ClientID, opts TCPOptions) *TCPConn {
+	opts = opts.withDefaults()
+	r := &tcpRPC{addr: addr, client: client, opts: opts, slots: make([]connSlot, opts.PoolSize)}
 	r.ioTimeout.Store(int64(DefaultIOTimeout))
-	for i := 0; i < poolSize; i++ {
-		r.pool <- nil // dialed on first use
-	}
 	return &TCPConn{conn: conn{id: id, r: r}, rpc: r}
 }
 
-// SetIOTimeout changes the per-exchange I/O deadline (0 disables it).
-// Safe to call concurrently with in-flight operations; they pick up the
-// new value on their next exchange.
+// SetIOTimeout changes the per-RPC I/O deadline (0 disables it). Safe to
+// call concurrently with in-flight operations; they pick up the new
+// value on their next exchange.
 func (c *TCPConn) SetIOTimeout(d time.Duration) { c.rpc.ioTimeout.Store(int64(d)) }
 
-func (t *tcpRPC) dial() (*tcpStream, error) {
+func (t *tcpRPC) dial() (*muxConn, error) {
 	c, err := net.DialTimeout("tcp", t.addr, time.Duration(t.ioTimeout.Load()))
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, t.addr, err)
 	}
-	s := &tcpStream{c: c, r: wire.NewConnReader(c), w: wire.NewConnWriter(c)}
+	m := &muxConn{
+		c:       c,
+		sem:     make(chan struct{}, t.opts.MaxInFlight),
+		pending: make(map[uint64]chan *wire.Response),
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		c.Close()
 		return nil, ErrUnavailable
 	}
-	t.opened = append(t.opened, s)
 	t.mu.Unlock()
-	return s, nil
+	go m.readLoop()
+	return m, nil
+}
+
+// pick returns a live multiplexed connection, dialing a replacement into
+// a round-robin slot when none is available.
+func (t *tcpRPC) pick() (*muxConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrUnavailable
+	}
+	n := len(t.slots)
+	idx := t.next
+	t.next = (t.next + 1) % n
+	for i := 0; i < n; i++ {
+		if mc := t.slots[(idx+i)%n].mc.Load(); mc != nil && !mc.broken() {
+			t.mu.Unlock()
+			return mc, nil
+		}
+	}
+	t.mu.Unlock()
+
+	// No live connection: dial into the chosen slot. The per-slot mutex
+	// collapses a thundering herd into one dial; latecomers reuse it.
+	slot := &t.slots[idx]
+	slot.dialMu.Lock()
+	defer slot.dialMu.Unlock()
+	if mc := slot.mc.Load(); mc != nil && !mc.broken() {
+		return mc, nil
+	}
+	mc, err := t.dial()
+	if err != nil {
+		return nil, err
+	}
+	// Publish under t.mu so a concurrent Close either sees the slot (and
+	// fails it) or we see closed here — never a leaked live connection.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		mc.fail(ErrUnavailable)
+		return nil, ErrUnavailable
+	}
+	slot.mc.Store(mc)
+	t.mu.Unlock()
+	return mc, nil
 }
 
 func (t *tcpRPC) call(op wire.Op, req wire.Message, rsp wire.Message) error {
-	// One transparent retry: a pooled stream may be stale (the server
+	// One transparent retry: a pooled connection may be stale (the server
 	// restarted on the same address), in which case the first exchange
 	// fails at the transport level and a fresh dial usually succeeds.
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		s, ok := <-t.pool
-		if !ok {
-			return ErrUnavailable
-		}
-		if s == nil {
-			var err error
-			if s, err = t.dial(); err != nil {
-				// Return the slot so later calls can retry dialing.
-				t.putBack(nil)
-				return err
-			}
-		}
-		id := t.nextID.Add(1)
-		err := t.exchange(s, op, id, req, rsp)
-		if err == nil {
-			t.putBack(s)
-			return nil
-		}
-		if _, isStatus := err.(*wire.StatusError); isStatus {
-			t.putBack(s)
+		mc, err := t.pick()
+		if err != nil {
 			return err
 		}
-		// Transport-level failure: drop the stream, leave a placeholder
-		// so the pool can re-dial.
-		s.c.Close()
-		t.putBack(nil)
+		id := t.nextID.Add(1)
+		err = mc.roundTrip(time.Duration(t.ioTimeout.Load()), op, id, t.client, req, rsp)
+		if err == nil {
+			return nil
+		}
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			return err
+		}
 		lastErr = err
 	}
 	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 }
 
-func (t *tcpRPC) putBack(s *tcpStream) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		if s != nil {
-			s.c.Close()
-		}
-		return
-	}
-	t.pool <- s
-}
+// roundTrip sends one request frame and waits for its response. Any
+// transport-level failure (write error, timeout, reader death) breaks
+// the whole connection: frame boundaries can no longer be trusted, and
+// every RPC sharing the connection fails over to a fresh dial.
+func (m *muxConn) roundTrip(d time.Duration, op wire.Op, id uint64, client wire.ClientID, req, rsp wire.Message) error {
+	m.sem <- struct{}{} // in-flight slot
+	defer func() { <-m.sem }()
 
-func (t *tcpRPC) exchange(s *tcpStream, op wire.Op, id uint64, req, rsp wire.Message) error {
-	// Deadline covering the whole exchange: a server that accepted the
-	// connection but stopped serving must not hang the caller. The
-	// deadline is cleared on success so idle pooled streams don't expire.
-	if d := time.Duration(t.ioTimeout.Load()); d > 0 {
-		if err := s.c.SetDeadline(time.Now().Add(d)); err != nil {
+	ch := make(chan *wire.Response, 1)
+	m.pmu.Lock()
+	if m.dead {
+		err := m.deadErr
+		m.pmu.Unlock()
+		return err
+	}
+	m.pending[id] = ch
+	m.pmu.Unlock()
+
+	m.wmu.Lock()
+	if d > 0 {
+		m.c.SetWriteDeadline(time.Now().Add(d))
+	}
+	err := wire.WriteRequest(m.c, op, id, client, req)
+	if d > 0 && err == nil {
+		err = m.c.SetWriteDeadline(time.Time{})
+	}
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(err)
+		return err
+	}
+
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case frame := <-ch:
+		return m.decodeInto(frame, rsp)
+	case <-timeout:
+		err := fmt.Errorf("transport: rpc %d timed out after %v", id, d)
+		m.fail(err)
+		// The reader may have delivered concurrently with the timeout;
+		// honor the response if so.
+		select {
+		case frame := <-ch:
+			return m.decodeInto(frame, rsp)
+		default:
 			return err
 		}
-		defer s.c.SetDeadline(time.Time{})
 	}
-	if err := wire.WriteRequest(s.w, op, id, t.client, req); err != nil {
-		return err
-	}
-	if err := s.w.Flush(); err != nil {
-		return err
-	}
-	frame, err := wire.ReadResponseFrame(s.r)
-	if err != nil {
-		return err
-	}
-	if frame.ID != id {
-		return fmt.Errorf("response id %d for request %d", frame.ID, id)
-	}
-	if err := frame.Err(); err != nil {
-		return err
-	}
-	return rsp.Decode(wire.NewDecoder(frame.Body))
 }
 
-// Close implements ServerConn, closing all pooled connections.
+// decodeInto finishes an RPC from its response frame. The frame body is
+// pool-owned: it is recycled here unless the decoded message aliases it
+// (PayloadMessage responses hand the body's payload to the caller).
+func (m *muxConn) decodeInto(frame *wire.Response, rsp wire.Message) error {
+	if frame == nil { // channel closed: connection died
+		m.pmu.Lock()
+		err := m.deadErr
+		m.pmu.Unlock()
+		if err == nil {
+			err = ErrUnavailable
+		}
+		return err
+	}
+	if err := frame.Err(); err != nil {
+		wire.PutBuffer(frame.Body)
+		return err
+	}
+	err := rsp.Decode(wire.NewDecoder(frame.Body))
+	if _, aliases := rsp.(wire.PayloadMessage); !aliases {
+		wire.PutBuffer(frame.Body)
+	}
+	return err
+}
+
+// readLoop is the connection's demultiplexer: it routes each response
+// frame to the RPC that sent the matching request ID. It exits when the
+// connection errors (including being closed by fail or Close).
+func (m *muxConn) readLoop() {
+	r := wire.NewConnReader(m.c)
+	for {
+		frame, err := wire.ReadResponseFrame(r)
+		if err != nil {
+			m.fail(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		m.pmu.Lock()
+		ch, ok := m.pending[frame.ID]
+		if ok {
+			delete(m.pending, frame.ID)
+		}
+		m.pmu.Unlock()
+		if !ok {
+			// A caller that timed out and gave up, or protocol noise
+			// either way nobody owns the body anymore.
+			wire.PutBuffer(frame.Body)
+			continue
+		}
+		ch <- frame // buffered; never blocks
+	}
+}
+
+func (m *muxConn) broken() bool {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	return m.dead
+}
+
+// fail marks the connection dead, closes it, and wakes every pending RPC
+// with a closed channel (read as nil → deadErr).
+func (m *muxConn) fail(err error) {
+	m.pmu.Lock()
+	if m.dead {
+		m.pmu.Unlock()
+		return
+	}
+	m.dead = true
+	m.deadErr = err
+	pend := m.pending
+	m.pending = nil
+	m.pmu.Unlock()
+	m.c.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// Close implements ServerConn, closing all pooled connections. In-flight
+// RPCs fail promptly with ErrUnavailable.
 func (c *TCPConn) Close() error {
 	t := c.rpc
 	t.mu.Lock()
@@ -202,17 +370,11 @@ func (c *TCPConn) Close() error {
 		return nil
 	}
 	t.closed = true
-	for _, s := range t.opened {
-		s.c.Close()
-	}
 	t.mu.Unlock()
-	// Drain the pool so blocked callers get ErrUnavailable promptly.
-	for {
-		select {
-		case <-t.pool:
-		default:
-			close(t.pool)
-			return nil
+	for i := range t.slots {
+		if mc := t.slots[i].mc.Load(); mc != nil {
+			mc.fail(ErrUnavailable)
 		}
 	}
+	return nil
 }

@@ -55,6 +55,9 @@ func (e *Encoder) Bool(v bool) {
 	}
 }
 
+// Raw appends bytes with no length prefix.
+func (e *Encoder) Raw(p []byte) { e.buf = append(e.buf, p...) }
+
 // Bytes32 appends a uint32 length prefix followed by the bytes.
 func (e *Encoder) Bytes32(p []byte) {
 	e.U32(uint32(len(p)))

@@ -26,6 +26,64 @@ func FuzzReadRequestFrame(f *testing.F) {
 	})
 }
 
+// FuzzResponseStreamDemux models what the transport's demultiplexer
+// consumes: a stream of response frames whose request IDs arrive in an
+// arbitrary (fuzz-chosen) order, with duplicates, interleaved payload
+// sizes, and optional trailing junk. Every well-formed frame must come
+// back with the body matching its ID, and the stream must never panic.
+func FuzzResponseStreamDemux(f *testing.F) {
+	f.Add(uint64(3), []byte{2, 0, 1}, false)
+	f.Add(uint64(1000), []byte{5, 5, 0, 3, 1, 4, 2}, true)
+	f.Add(uint64(0), []byte{0}, false)
+	f.Fuzz(func(t *testing.T, seed uint64, order []byte, junk bool) {
+		if len(order) == 0 || len(order) > 64 {
+			return
+		}
+		// bodyFor derives a distinct, checkable payload from each ID.
+		bodyFor := func(id uint64) []byte {
+			n := int(id % 257)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(id + uint64(i))
+			}
+			return b
+		}
+		var stream bytes.Buffer
+		want := make([]uint64, 0, len(order))
+		for _, o := range order {
+			id := seed + uint64(o%8) // small range forces duplicates
+			want = append(want, id)
+			if err := WriteResponse(&stream, OpRead, id, &ReadResponse{Data: bodyFor(id)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if junk {
+			stream.Write([]byte("\x00\xffnot a frame"))
+		}
+		r := bytes.NewReader(stream.Bytes())
+		for i, id := range want {
+			rsp, err := ReadResponseFrame(r)
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if rsp.ID != id {
+				t.Fatalf("frame %d: id %d, want %d (frames must arrive in write order)", i, rsp.ID, id)
+			}
+			var rr ReadResponse
+			if err := rr.Decode(NewDecoder(rsp.Body)); err != nil {
+				t.Fatalf("frame %d: decode: %v", i, err)
+			}
+			if !bytes.Equal(rr.Data, bodyFor(id)) {
+				t.Fatalf("frame %d: body does not match id %d", i, id)
+			}
+			PutBuffer(rsp.Body)
+		}
+		if _, err := ReadResponseFrame(r); err == nil {
+			t.Fatal("read past the last frame succeeded")
+		}
+	})
+}
+
 func FuzzReadResponseFrame(f *testing.F) {
 	var buf bytes.Buffer
 	_ = WriteResponse(&buf, OpRead, 7, &ReadResponse{Data: []byte("abc")})

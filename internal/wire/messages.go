@@ -16,6 +16,24 @@ type Message interface {
 	Decode(d *Decoder) error
 }
 
+// PayloadMessage is implemented by the messages that carry a bulk
+// fragment payload (StoreRequest, ReadResponse). The frame writer sends
+// the payload out-of-band — as a separate net.Buffers element after the
+// encoded header — so a 1 MB fragment is never copied through the
+// Encoder. The wire format is unchanged: EncodeHeader ends with the
+// payload's length prefix, so header ++ payload is byte-identical to
+// what Encode produces.
+type PayloadMessage interface {
+	Message
+	// EncodeHeader appends every field except the payload bytes,
+	// including the payload's uint32 length prefix.
+	EncodeHeader(e *Encoder)
+	// Payload returns the bulk payload written after the header. On the
+	// decode side it aliases the frame body, so transports must not
+	// recycle the body of a PayloadMessage response.
+	Payload() []byte
+}
+
 func finish(d *Decoder) error {
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadMessage, err)
@@ -50,6 +68,12 @@ type StoreRequest struct {
 
 // Encode implements Message.
 func (m *StoreRequest) Encode(e *Encoder) {
+	m.EncodeHeader(e)
+	e.Raw(m.Data)
+}
+
+// EncodeHeader implements PayloadMessage.
+func (m *StoreRequest) EncodeHeader(e *Encoder) {
 	e.U64(uint64(m.FID))
 	e.Bool(m.Mark)
 	e.U32(uint32(len(m.Ranges)))
@@ -58,8 +82,11 @@ func (m *StoreRequest) Encode(e *Encoder) {
 		e.U32(r.Len)
 		e.U32(uint32(r.AID))
 	}
-	e.Bytes32(m.Data)
+	e.U32(uint32(len(m.Data)))
 }
+
+// Payload implements PayloadMessage.
+func (m *StoreRequest) Payload() []byte { return m.Data }
 
 // Decode implements Message.
 func (m *StoreRequest) Decode(d *Decoder) error {
@@ -288,6 +315,12 @@ type ReadResponse struct {
 
 // Encode implements Message.
 func (m *ReadResponse) Encode(e *Encoder) { e.Bytes32(m.Data) }
+
+// EncodeHeader implements PayloadMessage.
+func (m *ReadResponse) EncodeHeader(e *Encoder) { e.U32(uint32(len(m.Data))) }
+
+// Payload implements PayloadMessage.
+func (m *ReadResponse) Payload() []byte { return m.Data }
 
 // Decode implements Message.
 func (m *ReadResponse) Decode(d *Decoder) error {
