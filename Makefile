@@ -29,7 +29,7 @@ test:
 # Race pass over the concurrency-heavy layers plus the cluster-level
 # chaos/fault-injection tests in the root package.
 race:
-	$(GO) test -race ./internal/transport ./internal/fragio ./internal/core
+	$(GO) test -race ./internal/transport ./internal/fragio ./internal/core ./internal/server
 	$(GO) test -race -run 'TestChaos|TestDegradedWrites|TestClientClose' .
 
 # The chaos harness alone, under the race detector.
@@ -49,8 +49,9 @@ cover:
 bench-strict:
 	SWARM_BENCH_STRICT=1 $(GO) test ./internal/bench
 
-# A tiny wirepath run (serial vs multiplexed wire path, see DESIGN.md
-# §3.9) as a CI smoke check. Shape only by default; set
-# SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratio.
+# Tiny wirepath (serial vs multiplexed wire path, DESIGN.md §3.9) and
+# servercommit (serial vs group-committed store path, DESIGN.md §3.10)
+# runs as CI smoke checks. Shape only by default; set
+# SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestWirepath' ./internal/bench
+	$(GO) test -count=1 -run 'TestWirepath|TestServercommit' ./internal/bench

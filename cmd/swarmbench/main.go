@@ -28,10 +28,10 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
-		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_wirepath.json)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_*.json)")
 		verbose = flag.Bool("v", false, "print progress")
 	)
 	flag.Parse()
@@ -136,6 +136,21 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return nil
 	}
 
+	runServercommit := func() error {
+		rows, err := bench.RunServercommit(bench.ServercommitConfig{SimScale: scale}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintServercommitResults(os.Stdout, rows)
+		if jsonOut {
+			if err := bench.WriteServercommitJSON("BENCH_servercommit.json", rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_servercommit.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -151,14 +166,16 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return runRecon()
 	case "wirepath":
 		return runWirepath()
+	case "servercommit":
+		return runServercommit()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, all)", fig)
 	}
 }

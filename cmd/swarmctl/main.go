@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"swarm"
 	"swarm/internal/core"
@@ -81,6 +82,13 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 			}
 			fmt.Printf("server %d (%s): %d/%d slots used, %d fragments, %d KB slots\n",
 				i+1, addrs[i], st.TotalSlots-st.FreeSlots, st.TotalSlots, st.Fragments, st.FragmentSize>>10)
+			if st.Stores > 0 {
+				coalesced := st.SyncRequests - st.Syncs
+				avg := time.Duration(st.StoreNanos / st.Stores)
+				fmt.Printf("  commit path: %d stores, %.2f fsyncs/store (%d coalesced of %d barriers), mean entry batch %.1f, avg store latency %v\n",
+					st.Stores, float64(st.Syncs)/float64(st.Stores), coalesced, st.SyncRequests,
+					meanEntryBatch(st), avg.Round(time.Microsecond))
+			}
 		}
 		return nil
 
@@ -231,6 +239,13 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+func meanEntryBatch(st wire.StatResponse) float64 {
+	if st.EntryBatches == 0 {
+		return 0
+	}
+	return float64(st.EntriesBatched) / float64(st.EntryBatches)
 }
 
 func parseFID(s string) (wire.FID, error) {

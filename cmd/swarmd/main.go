@@ -16,27 +16,30 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"swarm"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7700", "TCP address to serve the wire protocol on")
-		diskPath = flag.String("disk", "", "backing disk file (created if absent); empty with -mem for memory")
-		mem      = flag.Bool("mem", false, "use an in-memory disk (data lost on exit)")
-		size     = flag.Int64("size", 1<<30, "disk capacity in bytes")
-		fragSize = flag.Int("fragsize", 1<<20, "fragment slot size in bytes (must match the cluster)")
-		reuse    = flag.Bool("reuse", false, "reopen an existing formatted disk instead of formatting")
+		listen      = flag.String("listen", "127.0.0.1:7700", "TCP address to serve the wire protocol on")
+		diskPath    = flag.String("disk", "", "backing disk file (created if absent); empty with -mem for memory")
+		mem         = flag.Bool("mem", false, "use an in-memory disk (data lost on exit)")
+		size        = flag.Int64("size", 1<<30, "disk capacity in bytes")
+		fragSize    = flag.Int("fragsize", 1<<20, "fragment slot size in bytes (must match the cluster)")
+		reuse       = flag.Bool("reuse", false, "reopen an existing formatted disk instead of formatting")
+		commitDelay = flag.Duration("commit-delay", 0,
+			"group-commit coalescing window (0 = opportunistic; see README on tuning)")
 	)
 	flag.Parse()
-	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse); err != nil {
+	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse, *commitDelay); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool) error {
+func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool, commitDelay time.Duration) error {
 	if !mem && diskPath == "" {
 		return fmt.Errorf("need -disk PATH or -mem")
 	}
@@ -51,6 +54,7 @@ func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool
 		Listen:       listen,
 		Logger:       logger,
 		Reuse:        reuse,
+		CommitDelay:  commitDelay,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,277 @@
+// Servercommit benchmark: what group commit buys on the storage server's
+// store path. The same store workload — N concurrent writers pumping
+// whole fragments into one server.Store — is driven down two write
+// paths: the serial baseline (one exclusive lock across the data write
+// and two private fsyncs, the pre-group-commit design) and the
+// group-committed path (metadata-only critical section, unlocked data
+// writes, coalesced fsyncs; DESIGN.md §3.10). Two disks bracket the
+// regimes: a FileDisk with real fsyncs (fsync-bound — where coalescing
+// pays) and a SimDisk charging mechanical seek/rotation/transfer time
+// (arm-bound — where the one-head queue dominates either way).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarm/internal/disk"
+	"swarm/internal/model"
+	"swarm/internal/server"
+	"swarm/internal/wire"
+)
+
+// ServercommitConfig parameterizes the serial-vs-group-commit sweep.
+type ServercommitConfig struct {
+	// Stores is the number of fragment stores per measurement.
+	Stores int
+	// PayloadKB is the fragment size per store.
+	PayloadKB int
+	// Writers is the concurrency sweep (the paper point is depth 8).
+	Writers []int
+	// SimScale speeds up the simulated disk's mechanical model
+	// (RunWriteSweep's -scale; default 10).
+	SimScale float64
+	// CommitWindow is the group-commit coalescing window: how long a
+	// sync leader lingers for joiners before issuing the fsync. The
+	// default 0 is pure opportunistic coalescing (syncs queued behind an
+	// in-flight fsync share the next one), which is the right setting
+	// when the window would rival the device's fsync latency; a nonzero
+	// window buys bigger batches at the cost of per-store latency and
+	// only pays off when fsyncs are expensive relative to it (see
+	// README, "Tuning the coalescing window").
+	CommitWindow time.Duration
+	// Dir hosts the FileDisk backing files ("" = a fresh temp dir).
+	Dir string
+}
+
+func (c ServercommitConfig) withDefaults() ServercommitConfig {
+	if c.Stores == 0 {
+		c.Stores = 256
+	}
+	if c.PayloadKB == 0 {
+		c.PayloadKB = 64
+	}
+	if len(c.Writers) == 0 {
+		c.Writers = []int{1, 2, 4, 8}
+	}
+	if c.SimScale == 0 {
+		c.SimScale = 10
+	}
+	return c
+}
+
+// ServercommitResult is one (disk, mode, writers) measurement.
+type ServercommitResult struct {
+	Disk           string  `json:"disk"` // "filedisk" or "simdisk"
+	Mode           string  `json:"mode"` // "serial" or "group"
+	Writers        int     `json:"writers"`
+	Stores         int     `json:"stores"`
+	PayloadKB      int     `json:"payload_kb"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	MBps           float64 `json:"mb_per_s"`
+	StoresPerSec   float64 `json:"stores_per_s"`
+	SyncsPerStore  float64 `json:"syncs_per_store"`
+	MeanSyncBatch  float64 `json:"mean_sync_batch"`
+	MeanEntryBatch float64 `json:"mean_entry_batch"`
+	AvgStoreMicros float64 `json:"avg_store_us"`
+}
+
+// RunServercommit measures the store commit path, serial vs
+// group-committed, across the writer sweep on both disk models.
+func RunServercommit(cfg ServercommitConfig, progress func(string)) ([]ServercommitResult, error) {
+	cfg = cfg.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "swarmbench-servercommit")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	var out []ServercommitResult
+	for _, diskKind := range []string{"filedisk", "simdisk"} {
+		for _, mode := range []string{"serial", "group"} {
+			for _, writers := range cfg.Writers {
+				progress(fmt.Sprintf("servercommit: %s %s, %d writers", diskKind, mode, writers))
+				r, err := runServercommitPoint(cfg, dir, diskKind, mode, writers)
+				if err != nil {
+					return out, fmt.Errorf("servercommit %s/%s/%d: %w", diskKind, mode, writers, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runServercommitPoint(cfg ServercommitConfig, dir, diskKind, mode string, writers int) (ServercommitResult, error) {
+	fragSize := cfg.PayloadKB << 10
+	diskSize := int64(cfg.Stores+16)*int64(fragSize) + (8 << 20)
+	var d disk.Disk
+	switch diskKind {
+	case "filedisk":
+		path := filepath.Join(dir, fmt.Sprintf("commit-%s-%d.img", mode, writers))
+		fd, err := disk.OpenFileDisk(path, diskSize)
+		if err != nil {
+			return ServercommitResult{}, err
+		}
+		defer func() {
+			fd.Close()
+			os.Remove(path)
+		}()
+		d = fd
+	case "simdisk":
+		d = disk.NewSimDisk(disk.NewMemDisk(diskSize), nil, model.Paper1999().Scaled(cfg.SimScale))
+	default:
+		return ServercommitResult{}, fmt.Errorf("unknown disk kind %q", diskKind)
+	}
+
+	st, err := server.Format(d, server.Config{FragmentSize: fragSize})
+	if err != nil {
+		return ServercommitResult{}, err
+	}
+	st.SetSerialCommit(mode == "serial")
+	if mode == "group" && writers > 1 {
+		st.SetCommitDelay(cfg.CommitWindow)
+	}
+
+	payload := make([]byte, fragSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	before := st.Stats()
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Stores) {
+					return
+				}
+				if err := st.Store(wire.MakeFID(1, uint64(i)), payload, false, nil); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return ServercommitResult{}, err
+	}
+	after := st.Stats()
+
+	stores := after.Stores - before.Stores
+	syncs := after.Syncs - before.Syncs
+	reqs := after.SyncRequests - before.SyncRequests
+	mb := float64(cfg.Stores) * float64(fragSize) / (1 << 20)
+	r := ServercommitResult{
+		Disk:         diskKind,
+		Mode:         mode,
+		Writers:      writers,
+		Stores:       cfg.Stores,
+		PayloadKB:    cfg.PayloadKB,
+		ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
+		MBps:         mb / elapsed.Seconds(),
+		StoresPerSec: float64(cfg.Stores) / elapsed.Seconds(),
+		AvgStoreMicros: float64(after.StoreNanos-before.StoreNanos) /
+			float64(stores) / float64(time.Microsecond),
+	}
+	if stores > 0 {
+		r.SyncsPerStore = float64(syncs) / float64(stores)
+	}
+	if syncs > 0 {
+		r.MeanSyncBatch = float64(reqs) / float64(syncs)
+	}
+	if b := after.EntryBatches - before.EntryBatches; b > 0 {
+		r.MeanEntryBatch = float64(after.EntriesBatched-before.EntriesBatched) / float64(b)
+	}
+	return r, nil
+}
+
+// ServercommitSpeedup returns group MB/s over serial MB/s at the deepest
+// measured writer count on the given disk kind (the headline ratio is
+// filedisk: real fsyncs are what group commit coalesces).
+func ServercommitSpeedup(rows []ServercommitResult, diskKind string) float64 {
+	maxW := 0
+	for _, r := range rows {
+		if r.Disk == diskKind && r.Writers > maxW {
+			maxW = r.Writers
+		}
+	}
+	var serial, group float64
+	for _, r := range rows {
+		if r.Disk != diskKind || r.Writers != maxW {
+			continue
+		}
+		switch r.Mode {
+		case "serial":
+			serial = r.MBps
+		case "group":
+			group = r.MBps
+		}
+	}
+	if serial == 0 {
+		return 0
+	}
+	return group / serial
+}
+
+// PrintServercommitResults renders the sweep.
+func PrintServercommitResults(w io.Writer, rows []ServercommitResult) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Servercommit — serial vs group-committed store path (%d stores of %d KB)\n",
+		rows[0].Stores, rows[0].PayloadKB)
+	fmt.Fprintf(w, "%-10s %-8s %-8s %-10s %-10s %-12s %-12s %-12s %s\n",
+		"disk", "mode", "writers", "elapsed", "MB/s", "fsync/store", "sync batch", "entry batch", "store lat")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-8s %-8d %-10s %-10.1f %-12.2f %-12.1f %-12.1f %s\n",
+			r.Disk, r.Mode, r.Writers,
+			(time.Duration(r.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond).String(),
+			r.MBps, r.SyncsPerStore, r.MeanSyncBatch, r.MeanEntryBatch,
+			(time.Duration(r.AvgStoreMicros * float64(time.Microsecond))).Round(10*time.Microsecond).String())
+	}
+	fmt.Fprintf(w, "speedup (filedisk, deepest sweep point): %.2fx\n\n",
+		ServercommitSpeedup(rows, "filedisk"))
+}
+
+// WriteServercommitJSON writes the machine-readable benchmark record
+// (consumed by CI and tracked across PRs in EXPERIMENTS.md).
+func WriteServercommitJSON(path string, rows []ServercommitResult) error {
+	doc := struct {
+		Figure    string               `json:"figure"`
+		Generated string               `json:"generated"`
+		Speedup   float64              `json:"speedup_filedisk"`
+		Results   []ServercommitResult `json:"results"`
+	}{
+		Figure:    "servercommit",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Speedup:   ServercommitSpeedup(rows, "filedisk"),
+		Results:   rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

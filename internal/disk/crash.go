@@ -1,0 +1,132 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation on a CrashDisk after a
+// simulated power cut.
+var ErrCrashed = errors.New("disk: simulated power failure")
+
+// CrashDisk wraps a Disk and models a volatile write cache: WriteAt
+// buffers in memory, Sync flushes the buffer to the backing disk (and
+// syncs it), and Crash simulates a power cut — everything written but
+// not yet synced is dropped, and the disk refuses further I/O. Tests use
+// it to prove crash-atomicity invariants: after Crash, the backing disk
+// holds exactly the state an acknowledged sync made durable.
+//
+// Reads see buffered writes (read-your-writes), like a real drive cache.
+// Sync is atomic with respect to Crash: a Sync that returned nil
+// happened entirely before any Crash, so its writes survive.
+type CrashDisk struct {
+	mu      sync.Mutex
+	backing Disk
+	pending []crashWrite
+	crashed bool
+	syncs   int64
+}
+
+type crashWrite struct {
+	off  int64
+	data []byte
+}
+
+var _ Disk = (*CrashDisk)(nil)
+
+// NewCrashDisk wraps backing with a volatile write buffer.
+func NewCrashDisk(backing Disk) *CrashDisk {
+	return &CrashDisk{backing: backing}
+}
+
+// ReadAt implements Disk: the backing bytes overlaid with every pending
+// (unsynced) write, oldest first.
+func (d *CrashDisk) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if err := d.backing.ReadAt(p, off); err != nil {
+		return err
+	}
+	end := off + int64(len(p))
+	for _, w := range d.pending {
+		wEnd := w.off + int64(len(w.data))
+		if wEnd <= off || w.off >= end {
+			continue
+		}
+		// Overlap [lo,hi) in absolute disk coordinates.
+		lo, hi := max(off, w.off), min(end, wEnd)
+		copy(p[lo-off:hi-off], w.data[lo-w.off:hi-w.off])
+	}
+	return nil
+}
+
+// WriteAt implements Disk, buffering the write in volatile memory.
+func (d *CrashDisk) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if err := checkRange(d.backing.Size(), len(p), off); err != nil {
+		return err
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	d.pending = append(d.pending, crashWrite{off: off, data: buf})
+	return nil
+}
+
+// Sync implements Disk: every buffered write becomes durable, in order.
+func (d *CrashDisk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	for _, w := range d.pending {
+		if err := d.backing.WriteAt(w.data, w.off); err != nil {
+			return err
+		}
+	}
+	d.pending = nil
+	d.syncs++
+	return d.backing.Sync()
+}
+
+// Size implements Disk.
+func (d *CrashDisk) Size() int64 { return d.backing.Size() }
+
+// Close implements Disk. The backing disk stays open so tests can
+// reopen the durable image.
+func (d *CrashDisk) Close() error { return nil }
+
+// Crash simulates a power cut: all unsynced writes vanish and further
+// I/O fails with ErrCrashed. The backing disk (see Backing) is left with
+// exactly the durable image.
+func (d *CrashDisk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending = nil
+	d.crashed = true
+}
+
+// Backing returns the disk holding the durable image — what a recovery
+// path should reopen after Crash.
+func (d *CrashDisk) Backing() Disk { return d.backing }
+
+// Syncs reports how many Sync calls completed (test instrumentation).
+func (d *CrashDisk) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// PendingWrites reports how many buffered writes await a Sync.
+func (d *CrashDisk) PendingWrites() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}

@@ -266,3 +266,140 @@ func TestMemDiskQuickWriteRead(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCrashDiskRoundTrip(t *testing.T) {
+	testDiskRoundTrip(t, NewCrashDisk(NewMemDisk(1<<20)))
+}
+
+// Unsynced writes are visible to the writer but vanish on crash; synced
+// writes survive on the backing disk.
+func TestCrashDiskDropsUnsyncedWrites(t *testing.T) {
+	mem := NewMemDisk(1 << 20)
+	d := NewCrashDisk(mem)
+	durable := []byte("durable")
+	lost := []byte("lost-on-crash")
+	if err := d.WriteAt(durable, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(lost, 512); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes before the sync.
+	got := make([]byte, len(lost))
+	if err := d.ReadAt(got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, lost) {
+		t.Fatalf("pre-crash read = %q", got)
+	}
+	if d.PendingWrites() != 1 {
+		t.Fatalf("pending = %d, want 1", d.PendingWrites())
+	}
+
+	d.Crash()
+	if err := d.ReadAt(got, 512); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := d.WriteAt(lost, 512); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	// The backing disk holds exactly the durable image.
+	if err := mem.ReadAt(got[:len(durable)], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(durable)], durable) {
+		t.Fatalf("durable data = %q", got[:len(durable)])
+	}
+	zero := make([]byte, len(lost))
+	if err := mem.ReadAt(got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, zero) {
+		t.Fatalf("unsynced write reached backing disk: %q", got)
+	}
+}
+
+// Later unsynced writes overlay earlier ones, and partial overlaps
+// compose in write order.
+func TestCrashDiskOverlayOrder(t *testing.T) {
+	d := NewCrashDisk(NewMemDisk(1 << 10))
+	if err := d.WriteAt([]byte("aaaaaaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("bbbb"), 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aabbbbaa" {
+		t.Fatalf("overlay read = %q, want aabbbbaa", got)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aabbbbaa" {
+		t.Fatalf("post-sync read = %q", got)
+	}
+}
+
+func TestCrashDiskOutOfRange(t *testing.T) {
+	d := NewCrashDisk(NewMemDisk(128))
+	if err := d.WriteAt(make([]byte, 64), 100); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WriteAt past end: %v, want ErrOutOfRange", err)
+	}
+}
+
+// Creating or extending a FileDisk must fsync the parent directory so
+// the file's existence survives power loss.
+func TestFileDiskCreateSyncsDir(t *testing.T) {
+	var synced []string
+	orig := syncDir
+	syncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return orig(dir)
+	}
+	defer func() { syncDir = orig }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "disk.img")
+	d, err := OpenFileDisk(path, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("dir syncs after create = %v, want [%s]", synced, dir)
+	}
+
+	// Reopening at the same size must not pay the directory sync again.
+	synced = nil
+	d, err = OpenFileDisk(path, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if len(synced) != 0 {
+		t.Fatalf("dir syncs after clean reopen = %v, want none", synced)
+	}
+
+	// Extending an existing (short) file is a durability event again.
+	d, err = OpenFileDisk(path, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if len(synced) != 1 {
+		t.Fatalf("dir syncs after extend = %v, want one", synced)
+	}
+}

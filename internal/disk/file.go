@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -17,9 +18,23 @@ type FileDisk struct {
 
 var _ Disk = (*FileDisk)(nil)
 
+// syncDir fsyncs a directory so a freshly created directory entry is
+// durable. A test hook so durability behavior is assertable.
+var syncDir = func(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
+}
+
 // OpenFileDisk opens (creating if necessary) a file-backed disk of the
 // given size at path. An existing file is reused if it has the right size;
-// a new or short file is extended.
+// a new or short file is extended. Creating or extending the file syncs
+// both the file and its parent directory, so a freshly formatted server
+// survives power loss: without the directory fsync the file's very
+// existence (and its new length) may still live only in the page cache.
 func OpenFileDisk(path string, size int64) (*FileDisk, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -38,6 +53,14 @@ func OpenFileDisk(path string, size int64) (*FileDisk, error) {
 		if err := f.Truncate(size); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("extend disk file: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sync extended disk file: %w", err)
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sync disk directory: %w", err)
 		}
 	}
 	return &FileDisk{f: f, size: size}, nil

@@ -109,10 +109,16 @@ func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Stat
 	case wire.OpStat:
 		st := s.Stats()
 		return wire.StatusOK, &wire.StatResponse{
-			FragmentSize: uint32(st.FragmentSize),
-			TotalSlots:   uint32(st.TotalSlots),
-			FreeSlots:    uint32(st.FreeSlots),
-			Fragments:    uint32(st.Fragments),
+			FragmentSize:   uint32(st.FragmentSize),
+			TotalSlots:     uint32(st.TotalSlots),
+			FreeSlots:      uint32(st.FreeSlots),
+			Fragments:      uint32(st.Fragments),
+			Stores:         uint64(st.Stores),
+			SyncRequests:   uint64(st.SyncRequests),
+			Syncs:          uint64(st.Syncs),
+			EntryBatches:   uint64(st.EntryBatches),
+			EntriesBatched: uint64(st.EntriesBatched),
+			StoreNanos:     uint64(st.StoreNanos),
 		}
 
 	default:

@@ -3,8 +3,11 @@ package server
 import (
 	"bytes"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"swarm/internal/disk"
 	"swarm/internal/wire"
@@ -365,4 +368,136 @@ func TestQuickSlotEntryRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Regression for the read-after-free race: Store.Read used to drop the
+// lock before the disk read, so a concurrent Delete + Store could
+// recycle the slot and hand the reader another fragment's bytes. The
+// hook provokes exactly that interleaving; the generation check must
+// detect it and report the FID gone rather than return foreign data.
+func TestReadAfterFreeSlotReuse(t *testing.T) {
+	fragSize := 4096
+	slots := 1
+	d := disk.NewMemDisk(int64(superblockSize + aclRegionSize + slots*(fragSize+entrySize) + fragSize))
+	hd := &hookDisk{Disk: d}
+	s, err := Format(hd, Config{FragmentSize: fragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidA := wire.MakeFID(1, 1)
+	fidB := wire.MakeFID(1, 2)
+	dataA := bytes.Repeat([]byte{'A'}, fragSize)
+	dataB := bytes.Repeat([]byte{'B'}, fragSize)
+	if err := s.Store(fidA, dataA, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Between Read's slot lookup and its disk read: delete A and store B
+	// into the (single) recycled slot.
+	var once sync.Once
+	hook := func(p []byte, off int64) {
+		if off < s.slotsOff {
+			return // metadata read, not fragment data
+		}
+		once.Do(func() {
+			if err := s.Delete(1, fidA); err != nil {
+				t.Errorf("racing delete: %v", err)
+			}
+			if err := s.Store(fidB, dataB, false, nil); err != nil {
+				t.Errorf("racing store: %v", err)
+			}
+		})
+	}
+	hd.onRead.Store(&hook)
+
+	got, err := s.Read(1, fidA, 0, uint32(fragSize))
+	if err == nil {
+		if bytes.Equal(got, dataB) {
+			t.Fatal("read-after-free: fragment A read returned fragment B's bytes")
+		}
+		t.Fatalf("read of deleted fragment succeeded with unexpected data %x..", got[0])
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read across slot reuse = %v, want ErrNotFound", err)
+	}
+	// B must be readable and intact.
+	hd.onRead.Store(nil)
+	got, err = s.Read(1, fidB, 0, uint32(fragSize))
+	if err != nil || !bytes.Equal(got, dataB) {
+		t.Fatalf("fragment B after reuse: %v", err)
+	}
+}
+
+// Stress variant for the race detector: one slot, a writer cycling
+// store→delete, and readers that must only ever observe a fragment's own
+// bytes or ErrNotFound.
+func TestReadDeleteStoreRaceStress(t *testing.T) {
+	fragSize := 512
+	slots := 1
+	d := disk.NewMemDisk(int64(superblockSize + aclRegionSize + slots*(fragSize+entrySize) + fragSize))
+	s, err := Format(d, Config{FragmentSize: fragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := func(seq uint64) []byte {
+		return bytes.Repeat([]byte{byte(seq*37 + 11)}, fragSize)
+	}
+	var cur atomic.Uint64 // latest stored seq, 0 = none yet
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: store seq, publish, delete, next
+		defer wg.Done()
+		for seq := uint64(1); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fid := wire.MakeFID(1, seq)
+			if err := s.Store(fid, pattern(seq), false, nil); err != nil {
+				t.Errorf("store %d: %v", seq, err)
+				return
+			}
+			cur.Store(seq)
+			if err := s.Delete(1, fid); err != nil {
+				t.Errorf("delete %d: %v", seq, err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seq := cur.Load()
+				if seq == 0 {
+					continue
+				}
+				got, err := s.Read(1, wire.MakeFID(1, seq), 0, uint32(fragSize))
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("read %d: %v", seq, err)
+						return
+					}
+					continue
+				}
+				if !bytes.Equal(got, pattern(seq)) {
+					t.Errorf("read %d returned foreign bytes %x..", seq, got[0])
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

@@ -16,8 +16,12 @@ import (
 // connWorkers bounds the per-connection worker pool: how many requests
 // from one client connection may be in the store concurrently. With the
 // client multiplexing RPCs over each connection, a slow disk op must not
-// head-of-line-block the frames queued behind it.
-const connWorkers = 8
+// head-of-line-block the frames queued behind it. Sized to twice the
+// client transport's default MaxInFlight (8) so even a single
+// deep-configured connection can keep the store's group-commit batches
+// full: stores admitted concurrently share fsyncs (DESIGN.md §3.10), so
+// worker depth directly sets the achievable commit batch size.
+const connWorkers = 16
 
 // TCPServer serves the wire protocol over TCP, one goroutine per
 // connection plus a bounded worker pool per connection. Responses to one

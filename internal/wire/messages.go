@@ -407,12 +407,23 @@ func (m *ACLCreateResponse) Decode(d *Decoder) error {
 	return finish(d)
 }
 
-// StatResponse describes server capacity.
+// StatResponse describes server capacity and commit-path activity.
 type StatResponse struct {
 	FragmentSize uint32
 	TotalSlots   uint32
 	FreeSlots    uint32
 	Fragments    uint32
+
+	// Commit-path counters (cumulative since the server opened its
+	// store): committed stores, logical sync barriers vs physical
+	// fsyncs (the gap is group-commit coalescing), slot-entry commit
+	// batching, and cumulative store latency.
+	Stores         uint64
+	SyncRequests   uint64
+	Syncs          uint64
+	EntryBatches   uint64
+	EntriesBatched uint64
+	StoreNanos     uint64
 }
 
 // Encode implements Message.
@@ -421,6 +432,12 @@ func (m *StatResponse) Encode(e *Encoder) {
 	e.U32(m.TotalSlots)
 	e.U32(m.FreeSlots)
 	e.U32(m.Fragments)
+	e.U64(m.Stores)
+	e.U64(m.SyncRequests)
+	e.U64(m.Syncs)
+	e.U64(m.EntryBatches)
+	e.U64(m.EntriesBatched)
+	e.U64(m.StoreNanos)
 }
 
 // Decode implements Message.
@@ -429,5 +446,11 @@ func (m *StatResponse) Decode(d *Decoder) error {
 	m.TotalSlots = d.U32()
 	m.FreeSlots = d.U32()
 	m.Fragments = d.U32()
+	m.Stores = d.U64()
+	m.SyncRequests = d.U64()
+	m.Syncs = d.U64()
+	m.EntryBatches = d.U64()
+	m.EntriesBatched = d.U64()
+	m.StoreNanos = d.U64()
 	return finish(d)
 }

@@ -3,6 +3,7 @@ package swarm
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"swarm/internal/disk"
 	"swarm/internal/server"
@@ -25,6 +26,11 @@ type ServerOptions struct {
 	Logger *log.Logger
 	// Reuse opens an existing formatted disk instead of formatting.
 	Reuse bool
+	// CommitDelay is the group-commit coalescing window: how long a
+	// store commit lingers for concurrent commits to share its fsync.
+	// Zero (the default, right for fast local disks) coalesces only
+	// opportunistically; see README, "Tuning the coalescing window".
+	CommitDelay time.Duration
 }
 
 // Server is one Swarm storage server: a fragment repository on a disk,
@@ -64,6 +70,9 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if err != nil {
 		d.Close()
 		return nil, err
+	}
+	if opts.CommitDelay > 0 {
+		st.SetCommitDelay(opts.CommitDelay)
 	}
 	s := &Server{store: st, d: d}
 	if opts.Listen != "" {
