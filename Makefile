@@ -3,16 +3,15 @@ GO ?= go
 # Total statement coverage (make cover) must not drop below this.
 COVER_FLOOR ?= 75
 
-.PHONY: ci check vet build test race chaos cover bench-strict bench-smoke
+.PHONY: ci check vet lint build test race chaos cover bench-strict bench-smoke fuzz-smoke
 
 .DEFAULT_GOAL := ci
 
-# The CI gate — what `make` with no arguments runs: static checks, the
-# full test suite, a race pass over the packages with real concurrency
-# (the transport, the fragment I/O engine, and the striped-log core,
-# including the chaos harness in the root package), the coverage floor,
-# and a small benchmark smoke run.
-ci: vet build test race cover bench-smoke
+# The CI gate — what `make` with no arguments runs: static checks
+# (including the project-specific swarmlint analyzers), the full test
+# suite, a race pass over every package, the coverage floor, and a
+# small benchmark smoke run.
+ci: vet lint build test race cover bench-smoke
 
 # Historical alias for the same gate.
 check: ci
@@ -20,17 +19,21 @@ check: ci
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: buffer-pool ownership, lock/I-O
+# discipline, guarded-by fields, and error classification (DESIGN.md §7).
+lint:
+	$(GO) run ./cmd/swarmlint ./...
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
 
-# Race pass over the concurrency-heavy layers plus the cluster-level
+# Race pass over the whole tree, including the cluster-level
 # chaos/fault-injection tests in the root package.
 race:
-	$(GO) test -race ./internal/transport ./internal/fragio ./internal/core ./internal/server
-	$(GO) test -race -run 'TestChaos|TestDegradedWrites|TestClientClose' .
+	$(GO) test -race ./...
 
 # The chaos harness alone, under the race detector.
 chaos:
@@ -55,3 +58,11 @@ bench-strict:
 # SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
 bench-smoke:
 	$(GO) test -count=1 -run 'TestWirepath|TestServercommit' ./internal/bench
+
+# Short fuzzing pass over the wire codecs (not part of ci: fuzzing is
+# open-ended by nature; run it before touching frame or message code).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzReadRequestFrame -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzReadResponseFrame -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzResponseStreamDemux -fuzztime 10s ./internal/wire

@@ -1,0 +1,80 @@
+// Command swarmlint runs Swarm's project-specific static analyzers
+// over the repository: buffer-pool ownership (bufpool), lock/I-O
+// discipline (lockio), guarded-field locking (guardedby), and error
+// classification (errclass). See internal/lint and DESIGN.md §7.
+//
+// Usage:
+//
+//	swarmlint [-only name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status is 0 when clean, 1 when diagnostics were reported, and 2 when
+// loading or type-checking failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swarm/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve the module from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swarmlint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(analyzers, strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swarmlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	root, err := lint.ModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swarmlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swarmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swarmlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		// Print paths relative to the module root when possible: stable
+		// output for CI logs regardless of checkout location.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "swarmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -117,18 +117,18 @@ type Log struct {
 	payloadSize int
 
 	mu         sync.Mutex
-	closed     bool
-	seq        uint64 // next fragment sequence number
-	cur        *fragBuilder
-	pacc       *parityAccum
-	ckpts      map[ServiceID]BlockAddr
-	registered map[ServiceID]bool
-	locations  map[wire.FID]wire.ServerID
-	inflight   map[wire.FID][]byte
-	degraded   map[wire.FID]wire.ServerID // stores skipped: server unreachable, stripe still parity-covered
-	pendingDel map[wire.FID]wire.ServerID // reclaim deletes deferred: server unreachable when its stripe died
-	prealloced map[uint64]bool // stripes whose slots have been reserved
-	needPre    []uint64        // stripes awaiting preallocation
+	closed     bool                       // guarded by mu
+	seq        uint64                     // next fragment sequence number; guarded by mu
+	cur        *fragBuilder               // guarded by mu
+	pacc       *parityAccum               // guarded by mu
+	ckpts      map[ServiceID]BlockAddr    // guarded by mu
+	registered map[ServiceID]bool         // guarded by mu
+	locations  map[wire.FID]wire.ServerID // guarded by mu
+	inflight   map[wire.FID][]byte        // guarded by mu
+	degraded   map[wire.FID]wire.ServerID // stores skipped: server unreachable, stripe still parity-covered; guarded by mu
+	pendingDel map[wire.FID]wire.ServerID // reclaim deletes deferred: server unreachable when its stripe died; guarded by mu
+	prealloced map[uint64]bool            // stripes whose slots have been reserved; guarded by mu
+	needPre    []uint64                   // stripes awaiting preallocation; guarded by mu
 	usage      *UsageTable
 	recon      *fragCache
 	readahead  bool

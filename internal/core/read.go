@@ -43,8 +43,8 @@ func (frameFormat) Verify(decoded any, payload []byte) error {
 type fragCache struct {
 	mu   sync.Mutex
 	cap  int
-	m    map[wire.FID]cachedFrag
-	fifo []wire.FID
+	m    map[wire.FID]cachedFrag // guarded by mu
+	fifo []wire.FID              // guarded by mu
 }
 
 type cachedFrag struct {

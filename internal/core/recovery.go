@@ -58,6 +58,10 @@ func (r *Recovery) Service(svc ServiceID) *RecoveredService {
 //  3. restore the checkpoint directory and usage table;
 //  4. roll the log forward from the oldest needed checkpoint, collecting
 //     each service's replayable records.
+//
+// recover runs inside Open, before the log is visible to any other
+// goroutine, so it touches mu-guarded state without the lock.
+// swarmlint:locked
 func (l *Log) recover() (*Recovery, error) {
 	rec := &Recovery{Services: make(map[ServiceID]*RecoveredService)}
 

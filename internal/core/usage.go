@@ -37,7 +37,7 @@ func (u StripeUsage) Utilization() float64 {
 // cleaner never rescans the whole log to find garbage.
 type UsageTable struct {
 	mu sync.Mutex
-	m  map[uint64]*StripeUsage
+	m  map[uint64]*StripeUsage // guarded by mu
 }
 
 // NewUsageTable returns an empty table.
@@ -45,6 +45,8 @@ func NewUsageTable() *UsageTable {
 	return &UsageTable{m: make(map[uint64]*StripeUsage)}
 }
 
+// get returns (creating if needed) stripe's entry. Callers hold t.mu.
+// swarmlint:locked
 func (t *UsageTable) get(stripe uint64) *StripeUsage {
 	u, ok := t.m[stripe]
 	if !ok {
@@ -158,7 +160,9 @@ func (t *UsageTable) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodeUsageTable parses a table serialized by Encode.
+// DecodeUsageTable parses a table serialized by Encode. The table being
+// built is private until returned, so no lock is needed.
+// swarmlint:locked
 func DecodeUsageTable(p []byte) (*UsageTable, error) {
 	d := wire.NewDecoder(p)
 	n := d.U32()

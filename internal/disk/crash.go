@@ -22,9 +22,9 @@ var ErrCrashed = errors.New("disk: simulated power failure")
 type CrashDisk struct {
 	mu      sync.Mutex
 	backing Disk
-	pending []crashWrite
-	crashed bool
-	syncs   int64
+	pending []crashWrite // guarded by mu
+	crashed bool         // guarded by mu
+	syncs   int64        // guarded by mu
 }
 
 type crashWrite struct {

@@ -1,0 +1,93 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCrashDiskPoisonsAllIO pins the post-crash contract: once Crash
+// fires, every I/O method fails with ErrCrashed — a crashed disk must
+// not silently serve stale reads or accept writes the test would then
+// mistake for durable state.
+func TestCrashDiskPoisonsAllIO(t *testing.T) {
+	d := NewCrashDisk(NewMemDisk(1 << 16))
+	if err := d.WriteAt([]byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+
+	if err := d.ReadAt(make([]byte, 6), 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("ReadAt after Crash: err = %v, want ErrCrashed", err)
+	}
+	if err := d.WriteAt([]byte("after"), 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("WriteAt after Crash: err = %v, want ErrCrashed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Sync after Crash: err = %v, want ErrCrashed", err)
+	}
+
+	// The non-I/O methods stay usable: recovery reads the durable image
+	// through Backing and sizes the replacement disk with Size.
+	if d.Size() != 1<<16 {
+		t.Errorf("Size after Crash = %d, want %d", d.Size(), 1<<16)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("Close after Crash: %v", err)
+	}
+	got := make([]byte, 6)
+	if err := d.Backing().ReadAt(got, 0); err != nil {
+		t.Fatalf("Backing().ReadAt: %v", err)
+	}
+	if string(got) != "before" {
+		t.Errorf("durable image = %q, want %q", got, "before")
+	}
+}
+
+// TestCrashDiskDoubleCrashIdempotent verifies Crash can fire again —
+// including after a failed post-crash operation — without panicking or
+// resurrecting state.
+func TestCrashDiskDoubleCrashIdempotent(t *testing.T) {
+	d := NewCrashDisk(NewMemDisk(1 << 16))
+	if err := d.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("volatile"), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Crash()
+	if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync between crashes: err = %v, want ErrCrashed", err)
+	}
+	d.Crash() // must be a no-op, not a panic or a state reset
+
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("ReadAt after double Crash: err = %v, want ErrCrashed", err)
+	}
+	if n := d.PendingWrites(); n != 0 {
+		t.Errorf("PendingWrites after double Crash = %d, want 0", n)
+	}
+	got := make([]byte, 7)
+	if err := d.Backing().ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Errorf("durable image = %q, want %q", got, "durable")
+	}
+	// The dropped volatile write must not have leaked to the backing disk.
+	tail := make([]byte, 8)
+	if err := d.Backing().ReadAt(tail, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range tail {
+		if b != 0 {
+			t.Fatalf("backing[%d] = %#x, want 0 (unsynced write survived the crash)", 100+i, b)
+		}
+	}
+}

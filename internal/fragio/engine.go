@@ -115,9 +115,9 @@ type Engine struct {
 	locates singleflight // broadcast discovery
 
 	mu       sync.Mutex
-	inflight int // dispatched async stores not yet complete
+	inflight int // dispatched async stores not yet complete; guarded by mu
 	cond     *sync.Cond
-	stats    Stats
+	stats    Stats // guarded by mu
 }
 
 // New builds an engine over the cluster's connections.
@@ -229,6 +229,9 @@ func (e *Engine) Fetch(conn transport.ServerConn, fid wire.FID) (any, []byte, er
 		return nil, nil, err
 	}
 	if err := e.format.Verify(decoded, payload); err != nil {
+		// The pool-owned payload is not returned on this path; recycle it
+		// instead of leaking it to the GC.
+		wire.PutBuffer(payload)
 		return nil, nil, err
 	}
 	return decoded, payload, nil

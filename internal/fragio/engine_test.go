@@ -368,3 +368,57 @@ func TestStoreAsyncFlowControlAndWait(t *testing.T) {
 		t.Fatalf("stores = %d, want 3", got)
 	}
 }
+
+// pooledConn overrides fakeConn.Read to return pool-owned buffers, the
+// real transport's contract (ReadResponse payloads alias pooled frame
+// bodies).
+type pooledConn struct{ *fakeConn }
+
+func (c pooledConn) Read(fid wire.FID, off, n uint32) ([]byte, error) {
+	b, err := c.fakeConn.Read(fid, off, n)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.GetBuffer(len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// TestFetchRecyclesPayloadOnVerifyFailure is the regression test for a
+// pool leak: Fetch obtained the payload from the transport (pool-owned)
+// and returned the verify error without releasing it, so every corrupt
+// fragment cost the pool a fragment-sized buffer.
+func TestFetchRecyclesPayloadOnVerifyFailure(t *testing.T) {
+	const payloadLen = 5000 // a pooled size class (bins start at 4 KB)
+	inner := newFakeConn(1)
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fid := wire.MakeFID(1, 1)
+	inner.put(fid, payload)
+	// Corrupt one payload byte after framing so Parse succeeds (header
+	// intact) but Verify fails.
+	inner.mu.Lock()
+	inner.frags[fid][8] ^= 0xff
+	inner.mu.Unlock()
+
+	conn := pooledConn{inner}
+	e := New([]transport.ServerConn{conn}, Options{Format: testFormat{}})
+
+	// Seed the pool with a marker buffer. Bins are stacks, so the fetch
+	// path's GetBuffer(payloadLen) draws the marker; if the verify
+	// failure recycles it, the next GetBuffer returns the same array.
+	marker := wire.GetBuffer(payloadLen)
+	wire.PutBuffer(marker)
+
+	if _, _, err := e.Fetch(conn, fid); err == nil {
+		t.Fatal("Fetch of a corrupt fragment succeeded")
+	}
+
+	got := wire.GetBuffer(payloadLen)
+	defer wire.PutBuffer(got)
+	if &got[0] != &marker[0] {
+		t.Fatal("verify-failure path leaked the pooled payload buffer")
+	}
+}

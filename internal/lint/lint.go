@@ -1,0 +1,241 @@
+// Package lint is swarmlint's analysis engine: a stdlib-only analyzer
+// driver (go/ast + go/types, no golang.org/x/tools) that enforces
+// Swarm-specific invariants which `go vet` knows nothing about. The
+// system's design premise — dumb servers, smart clients — concentrates
+// correctness in client-side conventions: the wire buffer pool's
+// ownership rules, the no-I/O-under-metadata-locks discipline the
+// group-commit refactor introduced, guarded-by relationships between
+// struct fields and their mutexes, and the transient/permanent error
+// classification the resilient transport depends on. Each analyzer in
+// this package checks one of those invariants (DESIGN.md §7).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, reported as file:line: message
+// [analyzer].
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the diagnostic in the driver's canonical form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+}
+
+// Analyzer is one invariant checker. Analyzers are stateless across
+// packages: Run is called once per loaded package.
+type Analyzer interface {
+	// Name is the short identifier printed with each diagnostic.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Run analyzes one type-checked package.
+	Run(p *Package) []Diagnostic
+}
+
+// Package is one type-checked package presented to analyzers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	ann     *annotations
+	parents map[ast.Node]ast.Node
+}
+
+// Annotations returns the package's swarmlint comment directives,
+// building the index on first use.
+func (p *Package) Annotations() *annotations {
+	if p.ann == nil {
+		p.ann = newAnnotations(p)
+	}
+	return p.ann
+}
+
+// Parent returns the syntactic parent of n, or nil. The parent map is
+// built lazily over all of the package's files.
+func (p *Package) Parent(n ast.Node) ast.Node {
+	if p.parents == nil {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Files {
+			buildParents(p.parents, f)
+		}
+	}
+	return p.parents[n]
+}
+
+func buildParents(m map[ast.Node]ast.Node, root ast.Node) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost FuncDecl or FuncLit containing n,
+// or nil.
+func (p *Package) EnclosingFunc(n ast.Node) ast.Node {
+	for cur := p.Parent(n); cur != nil; cur = p.Parent(cur) {
+		switch cur.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return cur
+		}
+	}
+	return nil
+}
+
+// FuncBody returns the body of a FuncDecl or FuncLit node.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// Run executes every analyzer over every package and returns the
+// combined diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// Default returns the full analyzer suite with the repository's
+// configuration: the wire buffer pool's package path, the disk layer
+// exempted from lockio (it is the I/O layer the invariant protects
+// callers of), and the error-classification boundary around the
+// transport and fragment-I/O packages.
+func Default() []Analyzer {
+	return []Analyzer{
+		NewBufPool("swarm/internal/wire"),
+		NewLockIO("swarm/internal/disk", []string{"swarm/internal/disk"}),
+		NewGuardedBy(),
+		NewErrClass([]string{"swarm/internal/transport", "swarm/internal/fragio"}),
+	}
+}
+
+// ByName returns the analyzers whose names appear in names (order
+// preserved from all); unknown names return an error.
+func ByName(all []Analyzer, names []string) ([]Analyzer, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Analyzer
+	for _, a := range all {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown analyzer %q", n)
+	}
+	return out, nil
+}
+
+// exprString renders a (small) expression as source text — used to match
+// mutex paths like "s.mu" between Lock and Unlock calls. It covers the
+// expression forms that plausibly name a mutex; anything else yields a
+// non-matching placeholder.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	}
+	return "\x00unmatchable"
+}
+
+// namedOrPointee unwraps pointers and aliases down to a named type, or
+// nil.
+func namedOrPointee(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeFromPkg reports whether t (after unwrapping pointers) is a named
+// type declared in the package with the given import path.
+func typeFromPkg(t types.Type, path string) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == path
+}
+
+// calleeObject resolves the called function or method of call, or nil
+// (builtins, function-typed variables and conversions yield nil unless
+// they resolve to a types.Func).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isFunc reports whether call resolves to the function name in package
+// path pkgPath.
+func isFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj, ok := calleeObject(info, call).(*types.Func)
+	if !ok || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages without golang.org/x/tools:
+// `go list -deps -export -json` supplies the package graph and compiled
+// export data for every dependency, target packages are parsed from
+// source with go/parser, and go/types checks them against the export
+// data through the stdlib gc importer.
+type Loader struct {
+	Dir  string // module root (where go list runs)
+	Fset *token.FileSet
+
+	listed map[string]*listedPackage
+	roots  []string
+	imp    types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader runs `go list` for patterns under dir and prepares an
+// importer over the reported export data. The listing includes all
+// transitive dependencies, so fixture packages that import analyzed
+// packages (or the stdlib) type-check against the same snapshot.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	l := &Loader{
+		Dir:    dir,
+		Fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPackage),
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		l.listed[p.ImportPath] = &p
+		if !p.DepOnly {
+			l.roots = append(l.roots, p.ImportPath)
+		}
+	}
+	sort.Strings(l.roots)
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		lp := l.listed[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	})
+	return l, nil
+}
+
+// Roots returns the import paths matched by the loader's patterns (not
+// their dependencies), sorted.
+func (l *Loader) Roots() []string { return l.roots }
+
+// Load parses and type-checks the root packages (skipping any with no
+// non-test Go files).
+func (l *Loader) Load() ([]*Package, error) {
+	var out []*Package
+	for _, path := range l.roots {
+		lp := l.listed[path]
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		p, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CheckDir parses and type-checks every .go file in dir as a package
+// with the given import path. This is how the test harness loads
+// fixture packages that live under testdata (invisible to go list) but
+// import analyzed packages.
+func (l *Loader) CheckDir(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return l.check(path, files)
+}
+
+// check parses files and type-checks them as one package.
+func (l *Loader) check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

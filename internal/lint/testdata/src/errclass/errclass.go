@@ -1,0 +1,33 @@
+// Package errclass is a swarmlint test fixture: each function
+// exercises one errclass-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the classification vocabulary; exempt.
+var errSentinel = errors.New("fixture: sentinel")
+
+func naked() error {
+	return errors.New("boom") // want "naked errors.New"
+}
+
+func nakedErrorf(op string) error {
+	return fmt.Errorf("op %s failed", op) // want "chains to nothing"
+}
+
+func wrapped(op string) error {
+	return fmt.Errorf("op %s: %w", op, errSentinel)
+}
+
+func dynamicFormat(format string) error {
+	// Non-literal format: benefit of the doubt.
+	return fmt.Errorf(format, errSentinel)
+}
+
+func annotated() error {
+	return errors.New("invariant violated") // swarmlint:classified (programmer error, not an RPC outcome)
+}

@@ -1,0 +1,61 @@
+// Package guardedby is a swarmlint test fixture: each function
+// exercises one guardedby-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unguarded on purpose
+}
+
+func (c *counter) bad() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) badWrite() {
+	c.n = 7 // want "guarded by mu"
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodPlainUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodAnnotated is called with c.mu held. swarmlint:locked
+func (c *counter) goodAnnotated() int { return c.n }
+
+// goodSuffixLocked follows the xxxLocked caller-holds convention.
+func (c *counter) goodSuffixLocked() { c.n++ }
+
+func newCounter() *counter {
+	// Unpublished value under construction: no lock needed.
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+func (c *counter) unguardedField() int { return c.m }
+
+type wrapper struct {
+	inner counter
+}
+
+func (w *wrapper) badThroughWrapper() int {
+	return w.inner.n // want "guarded by mu"
+}
+
+func (w *wrapper) goodThroughWrapper() int {
+	w.inner.mu.Lock()
+	defer w.inner.mu.Unlock()
+	return w.inner.n
+}

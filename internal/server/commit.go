@@ -36,8 +36,8 @@ type syncCoalescer struct {
 
 	mu      sync.Mutex
 	idle    *sync.Cond // signaled when an in-flight d.Sync finishes
-	syncing bool       // a physical d.Sync is running
-	pending *syncBatch // batch currently accepting joiners, if any
+	syncing bool       // a physical d.Sync is running; guarded by mu
+	pending *syncBatch // batch currently accepting joiners, if any; guarded by mu
 
 	// window is the group-commit delay: how long a batch leader waits
 	// for followers before issuing the sync. Zero (the default) relies
@@ -45,8 +45,8 @@ type syncCoalescer struct {
 	// sync is in flight. Guarded by mu.
 	window time.Duration
 
-	requests int64 // logical barriers requested
-	syncs    int64 // physical d.Sync calls issued
+	requests int64 // logical barriers requested; guarded by mu
+	syncs    int64 // physical d.Sync calls issued; guarded by mu
 }
 
 type syncBatch struct {
@@ -147,11 +147,11 @@ type entryCommitter struct {
 
 	mu      sync.Mutex
 	idle    *sync.Cond
-	writing bool
-	pending *entryBatch
+	writing bool        // guarded by mu
+	pending *entryBatch // guarded by mu
 
-	batches int64 // batches written
-	entries int64 // entries across all batches
+	batches int64 // batches written; guarded by mu
+	entries int64 // entries across all batches; guarded by mu
 }
 
 func newEntryCommitter(d disk.Disk, sc *syncCoalescer) *entryCommitter {

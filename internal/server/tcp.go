@@ -35,8 +35,8 @@ type TCPServer struct {
 	handleDelay atomic.Int64 // nanoseconds; bench/test hook
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 
 	wg sync.WaitGroup
 }
@@ -103,7 +103,9 @@ func (s *TCPServer) acceptLoop() {
 // finish requests in completion order, not arrival order; the client
 // demultiplexes by request ID.
 type connWriter struct {
-	c      net.Conn
+	c net.Conn
+	// mu serializes response frames onto c; writing under it is the
+	// mutex's entire purpose. swarmlint:io-mutex
 	mu     sync.Mutex
 	failed atomic.Bool
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -204,5 +205,32 @@ func TestMuxChaosConcurrentRPCs(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestDecodeIntoRecyclesBodyOnDecodeError is the regression test for a
+// pool leak: when a PayloadMessage response arrived with a malformed
+// body, decodeInto skipped the recycle (the success path would have
+// handed the body to the caller) and the pooled frame body leaked.
+func TestDecodeIntoRecyclesBodyOnDecodeError(t *testing.T) {
+	const bodyLen = 5000 // a pooled size class (bins start at 4 KB)
+	body := wire.GetBuffer(bodyLen)
+	// Malformed ReadResponse: the length prefix promises more bytes than
+	// the frame holds, so Decode fails partway.
+	binary.LittleEndian.PutUint32(body, uint32(bodyLen)*2)
+
+	m := &muxConn{}
+	frame := &wire.Response{Op: wire.OpRead, ID: 1, Status: wire.StatusOK, Body: body}
+	var rsp wire.ReadResponse
+	if err := m.decodeInto(frame, &rsp); err == nil {
+		t.Fatal("decode of a malformed body succeeded")
+	}
+
+	// Bins are stacks: if decodeInto recycled the body, the next
+	// GetBuffer of that class returns the same backing array.
+	got := wire.GetBuffer(bodyLen)
+	defer wire.PutBuffer(got)
+	if &got[0] != &body[0] {
+		t.Fatal("decode-error path leaked the pooled frame body")
 	}
 }

@@ -119,13 +119,13 @@ type Resilient struct {
 	cfg   ResilientConfig
 
 	mu          sync.Mutex
-	state       int
-	consec      int
-	openedUntil time.Time
-	probing     bool
-	rng         *rand.Rand
+	state       int        // guarded by mu
+	consec      int        // guarded by mu
+	openedUntil time.Time  // guarded by mu
+	probing     bool       // guarded by mu
+	rng         *rand.Rand // guarded by mu
 
-	ops, failures, retries, trips, fastFails int64
+	ops, failures, retries, trips, fastFails int64 // guarded by mu
 }
 
 var _ ServerConn = (*Resilient)(nil)

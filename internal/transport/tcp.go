@@ -64,8 +64,8 @@ type tcpRPC struct {
 	ioTimeout atomic.Int64 // nanoseconds; 0 disables deadlines
 
 	mu     sync.Mutex
-	closed bool
-	next   int // round-robin cursor over slots
+	closed bool // guarded by mu
+	next   int  // round-robin cursor over slots; guarded by mu
 	slots  []connSlot
 }
 
@@ -82,12 +82,14 @@ type connSlot struct {
 type muxConn struct {
 	c   net.Conn
 	sem chan struct{}
+	// wmu serializes request frames onto c; writing under it is the
+	// mutex's entire purpose. swarmlint:io-mutex
 	wmu sync.Mutex
 
 	pmu     sync.Mutex
-	pending map[uint64]chan *wire.Response
-	dead    bool
-	deadErr error
+	pending map[uint64]chan *wire.Response // guarded by pmu
+	dead    bool                           // guarded by pmu
+	deadErr error                          // guarded by pmu
 }
 
 // TCPConn is a ServerConn over the wire protocol.
@@ -271,7 +273,7 @@ func (m *muxConn) roundTrip(d time.Duration, op wire.Op, id uint64, client wire.
 	case frame := <-ch:
 		return m.decodeInto(frame, rsp)
 	case <-timeout:
-		err := fmt.Errorf("transport: rpc %d timed out after %v", id, d)
+		err := fmt.Errorf("transport: rpc %d timed out after %v: %w", id, d, ErrUnavailable)
 		m.fail(err)
 		// The reader may have delivered concurrently with the timeout;
 		// honor the response if so.
@@ -302,7 +304,10 @@ func (m *muxConn) decodeInto(frame *wire.Response, rsp wire.Message) error {
 		return err
 	}
 	err := rsp.Decode(wire.NewDecoder(frame.Body))
-	if _, aliases := rsp.(wire.PayloadMessage); !aliases {
+	// A PayloadMessage that decoded successfully aliases the body, so the
+	// caller now owns it; on decode failure nothing aliases anything and
+	// the body must be recycled either way.
+	if _, aliases := rsp.(wire.PayloadMessage); !aliases || err != nil {
 		wire.PutBuffer(frame.Body)
 	}
 	return err

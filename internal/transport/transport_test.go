@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -411,4 +413,37 @@ func TestThrottledChargesFullModelOnAllOps(t *testing.T) {
 	nm := NewNetModel(model.WallClock{}, model.Paper1999().Scaled(1000))
 	sc := NewThrottled(NewLocal(1, newStore(t), 1), nm)
 	exerciseConn(t, sc)
+}
+
+// TestRPCTimeoutClassifiedUnavailable pins the error classification of
+// an RPC timeout: a server that accepts the connection but never
+// responds must surface as ErrUnavailable (transient), so the resilient
+// layer retries instead of treating the stall as permanent.
+func TestRPCTimeoutClassifiedUnavailable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Drain requests without ever answering.
+			go func() { _, _ = io.Copy(io.Discard, c) }()
+		}
+	}()
+
+	sc, err := DialTCP(1, ln.Addr().String(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	sc.SetIOTimeout(50 * time.Millisecond)
+
+	if err := sc.Ping(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Ping against a mute server: err = %v, want ErrUnavailable", err)
+	}
 }

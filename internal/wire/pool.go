@@ -43,7 +43,7 @@ const (
 
 type bufferBin struct {
 	mu   sync.Mutex
-	bufs [][]byte
+	bufs [][]byte // guarded by mu
 }
 
 var bufferPool [poolBins]bufferBin
