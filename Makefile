@@ -52,17 +52,20 @@ cover:
 bench-strict:
 	SWARM_BENCH_STRICT=1 $(GO) test ./internal/bench
 
-# Tiny wirepath (serial vs multiplexed wire path, DESIGN.md §3.9) and
-# servercommit (serial vs group-committed store path, DESIGN.md §3.10)
-# runs as CI smoke checks. Shape only by default; set
+# Tiny wirepath (serial vs multiplexed wire path, DESIGN.md §3.9),
+# servercommit (serial vs group-committed store path, DESIGN.md §3.10),
+# and erasure-geometry (write amplification vs reconstruction cost,
+# DESIGN.md §3.11) runs as CI smoke checks. Shape only by default; set
 # SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestWirepath|TestServercommit' ./internal/bench
+	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure' ./internal/bench
 
-# Short fuzzing pass over the wire codecs (not part of ci: fuzzing is
-# open-ended by nature; run it before touching frame or message code).
+# Short fuzzing pass over the wire codecs and the erasure coder (not
+# part of ci: fuzzing is open-ended by nature; run it before touching
+# frame, message, or parity code).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzReadRequestFrame -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzReadResponseFrame -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzResponseStreamDemux -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzErasureRoundTrip -fuzztime 10s ./internal/erasure

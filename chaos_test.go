@@ -15,6 +15,13 @@ import (
 // gets, with a fault-injection layer in the middle.
 func chaosCluster(t *testing.T, n int, cfg transport.ResilientConfig) (*Client, []*transport.Flaky) {
 	t.Helper()
+	return chaosClusterOpts(t, n, cfg, ClientOptions{})
+}
+
+// chaosClusterOpts is chaosCluster with explicit client options (the
+// fragment size is always pinned to 16 KB).
+func chaosClusterOpts(t *testing.T, n int, cfg transport.ResilientConfig, opts ClientOptions) (*Client, []*transport.Flaky) {
+	t.Helper()
 	conns := make([]transport.ServerConn, n)
 	flaky := make([]*transport.Flaky, n)
 	for i := 0; i < n; i++ {
@@ -26,7 +33,8 @@ func chaosCluster(t *testing.T, n int, cfg transport.ResilientConfig) (*Client, 
 		flaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, 1))
 		conns[i] = transport.NewResilient(flaky[i], cfg)
 	}
-	c, err := connect(1, conns, ClientOptions{FragmentSize: 16 << 10})
+	opts.FragmentSize = 16 << 10
+	c, err := connect(1, conns, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,5 +323,127 @@ func TestClientCloseToleratesDownedServer(t *testing.T) {
 	flaky[2].SetDown(true)
 	if err := c.Close(); err != nil {
 		t.Fatalf("close over a downed server: %v", err)
+	}
+}
+
+// TestChaosRSDoubleFailure is the Reed–Solomon acceptance run: an
+// RS(4,2) cluster (six servers, two parity shards per stripe) sustains
+// mixed read/write/cleaner load while PAIRS of servers are killed
+// simultaneously, with zero data loss. Each outage is followed by a
+// rebuild that restores full two-failure tolerance for the next pair.
+func TestChaosRSDoubleFailure(t *testing.T) {
+	const (
+		nServers  = 6
+		nBlocks   = 60
+		blockSize = 2048
+	)
+	cfg := transport.ResilientConfig{
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		FailThreshold: 3,
+		OpenTimeout:   40 * time.Millisecond,
+		Seed:          11,
+	}
+	c, flaky := chaosClusterOpts(t, nServers, cfg, ClientOptions{ParityShards: 2, Codec: "rs"})
+	defer c.Close()
+
+	d, err := c.NewLogicalDisk(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln := c.StartCleaner(0, CleanerConfig{UtilizationThreshold: 0.9, MaxStripesPerPass: 2, Force: true})
+
+	content := make(map[uint64]int)
+	write := func(lbn uint64, version int) {
+		t.Helper()
+		if err := d.Write(lbn, chaosBlock(lbn, version, blockSize)); err != nil {
+			t.Fatalf("write block %d v%d: %v", lbn, version, err)
+		}
+		content[lbn] = version
+	}
+	verifyAll := func(stage string) {
+		t.Helper()
+		for lbn, v := range content {
+			got, err := d.Read(lbn)
+			if err != nil {
+				t.Fatalf("%s: read block %d: %v", stage, lbn, err)
+			}
+			if !bytes.Equal(got, chaosBlock(lbn, v, blockSize)) {
+				t.Fatalf("%s: block %d corrupt", stage, lbn)
+			}
+		}
+	}
+
+	for i := 0; i < nBlocks; i++ {
+		write(uint64(i), 0)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1234))
+	version := 1
+
+	// Kill pairs covering every server position at least twice. Both
+	// members of each pair go down SIMULTANEOUSLY: every stripe written
+	// through the outage loses up to two members, which only the m=2
+	// codec covers.
+	pairs := [][2]int{{0, 1}, {2, 3}, {4, 5}, {0, 3}, {1, 4}, {2, 5}}
+	for _, pair := range pairs {
+		flaky[pair[0]].SetDown(true)
+		flaky[pair[1]].SetDown(true)
+		for i := 0; i < 20; i++ {
+			write(uint64(rng.Intn(nBlocks)), version)
+			version++
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatalf("sync with servers %v down: %v", pair, err)
+		}
+		if _, err := cln.CleanOnce(); err != nil {
+			t.Fatalf("clean with servers %v down: %v", pair, err)
+		}
+		verifyAll("during double outage")
+		if st := c.Log().Stats(); st.MinSpareRedundancy != 0 {
+			t.Fatalf("MinSpareRedundancy = %d during double outage, want 0", st.MinSpareRedundancy)
+		}
+
+		flaky[pair[0]].SetDown(false)
+		flaky[pair[1]].SetDown(false)
+		time.Sleep(3 * cfg.OpenTimeout)
+		for _, victim := range pair {
+			if _, err := c.RebuildServer(ServerID(victim + 1)); err != nil {
+				t.Fatalf("rebuild server %d: %v", victim+1, err)
+			}
+		}
+	}
+	if stats := c.Log().Stats(); stats.DegradedWrites == 0 {
+		t.Fatalf("chaos run never exercised degraded writes: %+v", stats)
+	}
+
+	// Quiesce and prove full redundancy came back everywhere.
+	time.Sleep(3 * cfg.OpenTimeout)
+	if _, err := cln.CleanOnce(); err != nil {
+		t.Fatalf("final clean: %v", err)
+	}
+	for i := 0; i < nServers; i++ {
+		if _, err := c.RebuildServer(ServerID(i + 1)); err != nil {
+			t.Fatalf("final rebuild of server %d: %v", i+1, err)
+		}
+	}
+	if left := c.Log().DegradedFIDs(); len(left) != 0 {
+		t.Fatalf("degraded fragments remain after rebuild: %v", left)
+	}
+	if st := c.Log().Stats(); st.MinSpareRedundancy != 2 {
+		t.Fatalf("MinSpareRedundancy = %d after full rebuild, want 2", st.MinSpareRedundancy)
+	}
+	verifyAll("final")
+	for _, s := range c.Log().Usage().Stripes() {
+		if u, _ := c.Log().Usage().Get(s); !u.Closed {
+			continue
+		}
+		if err := c.Log().VerifyStripe(s); err != nil {
+			t.Fatalf("stripe %d fails verification after rebuild: %v", s, err)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"swarm/internal/aru"
 	"swarm/internal/cleaner"
 	"swarm/internal/core"
+	"swarm/internal/erasure"
 	"swarm/internal/ldisk"
 	"swarm/internal/service"
 	"swarm/internal/sting"
@@ -35,6 +36,19 @@ type ClientOptions struct {
 	Width int
 	// DisableParity trades availability for capacity.
 	DisableParity bool
+	// ParityShards is the number of redundancy fragments per stripe
+	// (m): the stripe survives any m simultaneous server losses.
+	// Default 1 (the paper's single rotating parity). Must be < Width.
+	// Each stripe then holds Width-m data fragments, so write
+	// amplification is Width/(Width-m).
+	ParityShards int
+	// Codec names the erasure code: "xor" (only valid with ParityShards
+	// ≤ 1, byte-identical to the original format) or "rs" (GF(2^8)
+	// Reed–Solomon, any k of n members reconstruct the rest). Default:
+	// xor for ParityShards ≤ 1, rs otherwise. The codec is stamped into
+	// every fragment header, so reconfiguring an existing log is safe —
+	// old stripes keep decoding with the code that wrote them.
+	Codec string
 	// PipelineDepth bounds in-flight fragments per server. Default 2.
 	PipelineDepth int
 	// FetchConcurrency bounds concurrent fragment fetches per server in
@@ -144,12 +158,23 @@ func connect(id ClientID, conns []transport.ServerConn, opts ClientOptions) (*Cl
 			acls[sc.ID()] = aid
 		}
 	}
+	var codec erasure.Kind
+	if opts.Codec != "" {
+		var kerr error
+		codec, kerr = erasure.ParseKind(opts.Codec)
+		if kerr != nil {
+			closeAll()
+			return nil, kerr
+		}
+	}
 	l, rec, err := core.Open(core.Config{
 		Client:             id,
 		Servers:            conns,
 		FragmentSize:       opts.FragmentSize,
 		Width:              opts.Width,
 		DisableParity:      opts.DisableParity,
+		ParityShards:       opts.ParityShards,
+		Codec:              codec,
 		PipelineDepth:      opts.PipelineDepth,
 		FetchConcurrency:   opts.FetchConcurrency,
 		MaxInFlight:        opts.MaxInFlight,

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_*.json)")
@@ -151,6 +151,21 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return nil
 	}
 
+	runErasure := func() error {
+		rows, err := bench.RunErasureSweep([][2]int{{4, 1}, {4, 2}, {8, 2}}, bench.ErasureConfig{})
+		if err != nil {
+			return err
+		}
+		bench.PrintErasureResults(os.Stdout, rows)
+		if jsonOut {
+			if err := bench.WriteErasureJSON("BENCH_erasure.json", rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_erasure.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -168,14 +183,16 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return runWirepath()
 	case "servercommit":
 		return runServercommit()
+	case "erasure":
+		return runErasure()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, all)", fig)
 	}
 }

@@ -33,13 +33,16 @@ func main() {
 		servers = flag.String("servers", "127.0.0.1:7700", "comma-separated storage server addresses (cluster order)")
 		client  = flag.Uint("client", 1, "client ID (log owner)")
 		frag    = flag.Int("fragsize", 1<<20, "fragment size (must match the cluster)")
+		parity  = flag.Int("parity", 0, "parity shards per stripe m (0 = cluster default of 1)")
+		codec   = flag.String("codec", "", "erasure codec for new stripes: xor or rs (default: xor for m<=1, rs otherwise)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild|health ...")
 		os.Exit(2)
 	}
-	if err := run(strings.Split(*servers, ","), wire.ClientID(*client), *frag, flag.Args()); err != nil {
+	opts := swarm.ClientOptions{FragmentSize: *frag, ParityShards: *parity, Codec: *codec}
+	if err := run(strings.Split(*servers, ","), wire.ClientID(*client), opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmctl:", err)
 		os.Exit(1)
 	}
@@ -57,7 +60,7 @@ func dialAll(addrs []string, client wire.ClientID) ([]transport.ServerConn, erro
 	return conns, nil
 }
 
-func run(addrs []string, client wire.ClientID, fragSize int, args []string) error {
+func run(addrs []string, client wire.ClientID, opts swarm.ClientOptions, args []string) error {
 	cmd := args[0]
 	switch cmd {
 	case "ping", "stat":
@@ -119,7 +122,7 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		if err != nil {
 			return err
 		}
-		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
 		if err != nil {
 			return err
 		}
@@ -153,7 +156,7 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		if err != nil {
 			return err
 		}
-		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
 		if err != nil {
 			return err
 		}
@@ -166,7 +169,7 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		return nil
 
 	case "verify":
-		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
 		if err != nil {
 			return err
 		}
@@ -193,7 +196,7 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		return nil
 
 	case "health":
-		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
 		if err != nil {
 			return err
 		}
@@ -214,6 +217,13 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		st := c.Log().Stats()
 		fmt.Printf("log: %d degraded writes in %d stripes, %d preallocs skipped, %d deletes deferred\n",
 			st.DegradedWrites, st.DegradedStripes, st.DegradedPreallocs, st.DeferredDeletes)
+		l := c.Log()
+		if code := l.Codec(); code != nil {
+			fmt.Printf("erasure: codec %s, %d parity shards per %d-wide stripe, spare redundancy %d (failures to data loss)\n",
+				code.Kind(), l.ParityShards(), l.Width(), st.MinSpareRedundancy)
+		} else {
+			fmt.Println("erasure: parity disabled (no redundancy)")
+		}
 		return nil
 
 	case "rebuild":
@@ -224,7 +234,7 @@ func run(addrs []string, client wire.ClientID, fragSize int, args []string) erro
 		if err != nil || n < 1 || n > len(addrs) {
 			return fmt.Errorf("bad server number %q", args[1])
 		}
-		c, err := swarm.ConnectAddrs(client, addrs, swarm.ClientOptions{FragmentSize: fragSize})
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
 		if err != nil {
 			return err
 		}

@@ -51,7 +51,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 func ctl(t *testing.T, addrs []string, args ...string) string {
 	t.Helper()
 	out, err := capture(t, func() error {
-		return run(addrs, 1, 64<<10, args)
+		return run(addrs, 1, swarm.ClientOptions{FragmentSize: 64 << 10}, args)
 	})
 	if err != nil {
 		t.Fatalf("swarmctl %v: %v\noutput: %s", args, err, out)
@@ -111,16 +111,16 @@ func TestSwarmctlPutGetListVerify(t *testing.T) {
 
 func TestSwarmctlErrors(t *testing.T) {
 	addrs := startServers(t, 1)
-	if err := run(addrs, 1, 64<<10, []string{"bogus"}); err == nil {
+	if err := run(addrs, 1, swarm.ClientOptions{FragmentSize: 64 << 10}, []string{"bogus"}); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run(addrs, 1, 64<<10, []string{"put"}); err == nil {
+	if err := run(addrs, 1, swarm.ClientOptions{FragmentSize: 64 << 10}, []string{"put"}); err == nil {
 		t.Fatal("put without file accepted")
 	}
-	if err := run(addrs, 1, 64<<10, []string{"get", "nonsense", "0", "1"}); err == nil {
+	if err := run(addrs, 1, swarm.ClientOptions{FragmentSize: 64 << 10}, []string{"get", "nonsense", "0", "1"}); err == nil {
 		t.Fatal("malformed fid accepted")
 	}
-	if err := run([]string{"127.0.0.1:1"}, 1, 64<<10, []string{"ping"}); err == nil {
+	if err := run([]string{"127.0.0.1:1"}, 1, swarm.ClientOptions{FragmentSize: 64 << 10}, []string{"ping"}); err == nil {
 		t.Fatal("ping to dead server should fail at dial")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"swarm/internal/erasure"
 	"swarm/internal/wire"
 )
 
@@ -35,6 +36,12 @@ const (
 
 	fragMagic   = 0x4752464c // "LFRG"
 	fragVersion = 1
+	// fragVersion2 adds the erasure codec byte and parity count to the
+	// header (bytes 160 and 161, previously spare). Version-1 headers
+	// imply the paper's single rotating XOR parity, so every pre-RS
+	// stripe remains readable and the XOR configuration still writes
+	// byte-identical version-1 fragments.
+	fragVersion2 = 2
 
 	// FragData marks a fragment holding log entries.
 	FragData = 1
@@ -60,6 +67,16 @@ type Header struct {
 	// missing fragment, so a corrupted replica heals from the stripe's
 	// parity like any other failure.
 	PayloadCRC uint32
+	// Codec is the erasure code that wrote this stripe (an erasure.Kind
+	// value). Readers decode each stripe with the code named in its
+	// headers, never their own configuration, so logs may freely mix
+	// XOR and RS stripes. Zero is normalized to XOR on decode.
+	Codec uint8
+	// NumParity is the stripe's parity-shard count m. The parity slots
+	// of stripe s are (s+j) mod Width for j in [0, m); slot j=0 is the
+	// classic rotating position, so version-1 headers are exactly the
+	// m=1 case.
+	NumParity uint8
 }
 
 // BaseSeq returns the sequence number of the stripe's first fragment.
@@ -72,11 +89,64 @@ func (h *Header) MemberFID(i int) wire.FID {
 	return wire.MakeFID(h.FID.Client(), h.BaseSeq()+uint64(i))
 }
 
-// EncodeHeader serializes h into a HeaderSize buffer.
+// legacyGeometry reports whether (codec, m) is the original single
+// rotating XOR parity, encodable as a version-1 header. Zero values are
+// legacy callers that predate the erasure layer.
+func legacyGeometry(codec, m uint8) bool {
+	return (codec == 0 || codec == uint8(erasure.KindXOR)) && m <= 1
+}
+
+// DataShards returns k, the stripe's data-member count.
+func (h *Header) DataShards() int { return int(h.Width) - int(h.NumParity) }
+
+// ParityOrdinal returns (j, true) if member index i is the stripe's
+// j-th parity slot. Parity occupies indices (StripeID+j) mod Width for
+// j in [0, NumParity); j=0 is the classic rotating parity position, so
+// the m=1 layout is exactly the original format.
+func (h *Header) ParityOrdinal(i int) (int, bool) {
+	w := int(h.Width)
+	d := (i - int(h.StripeID%uint64(w)) + w) % w
+	if d < int(h.NumParity) {
+		return d, true
+	}
+	return 0, false
+}
+
+// ShardOrdinal maps stripe member index i to its erasure-shard ordinal:
+// data members count 0..k-1 in index order skipping parity slots, and
+// parity slot j maps to k+j. This is the ordering erasure.Code expects.
+func (h *Header) ShardOrdinal(i int) int {
+	if j, ok := h.ParityOrdinal(i); ok {
+		return h.DataShards() + j
+	}
+	n := 0
+	for x := 0; x < i; x++ {
+		if _, ok := h.ParityOrdinal(x); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ErasureCode returns the stripe's codec as named by the header.
+func (h *Header) ErasureCode() (erasure.Code, error) {
+	return erasure.New(erasure.Kind(h.Codec), h.DataShards(), int(h.NumParity))
+}
+
+// EncodeHeader serializes h into a HeaderSize buffer. XOR single-parity
+// headers (including legacy zero-value Codec/NumParity) are emitted as
+// version 1, byte-identical to every fragment written before the erasure
+// layer existed; anything else is version 2.
 func EncodeHeader(h *Header) []byte {
 	buf := make([]byte, HeaderSize)
 	binary.LittleEndian.PutUint32(buf[0:], fragMagic)
-	buf[4] = fragVersion
+	if legacyGeometry(h.Codec, h.NumParity) {
+		buf[4] = fragVersion
+	} else {
+		buf[4] = fragVersion2
+		buf[160] = h.Codec
+		buf[161] = h.NumParity
+	}
 	buf[5] = h.Kind
 	buf[6] = h.Width
 	buf[7] = h.Index
@@ -101,7 +171,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 	if binary.LittleEndian.Uint32(buf[0:]) != fragMagic {
 		return h, fmt.Errorf("%w: bad magic", ErrBadFragment)
 	}
-	if buf[4] != fragVersion {
+	if buf[4] != fragVersion && buf[4] != fragVersion2 {
 		return h, fmt.Errorf("%w: version %d", ErrBadFragment, buf[4])
 	}
 	if crc32.ChecksumIEEE(buf[:HeaderSize-4]) != binary.LittleEndian.Uint32(buf[HeaderSize-4:]) {
@@ -115,6 +185,16 @@ func DecodeHeader(buf []byte) (Header, error) {
 	}
 	if h.Width == 0 || h.Width > MaxWidth || h.Index >= h.Width {
 		return h, fmt.Errorf("%w: width %d index %d", ErrBadFragment, h.Width, h.Index)
+	}
+	if buf[4] == fragVersion2 {
+		h.Codec = buf[160]
+		h.NumParity = buf[161]
+		if h.NumParity == 0 || h.NumParity >= h.Width {
+			return h, fmt.Errorf("%w: %d parity shards in width %d", ErrBadFragment, h.NumParity, h.Width)
+		}
+	} else {
+		h.Codec = uint8(erasure.KindXOR)
+		h.NumParity = 1
 	}
 	h.FID = wire.FID(binary.LittleEndian.Uint64(buf[8:]))
 	h.StripeID = binary.LittleEndian.Uint64(buf[16:])

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"swarm/internal/erasure"
 	"swarm/internal/wire"
 )
 
@@ -21,12 +22,32 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 	h.Group[0], h.Group[1], h.Group[2], h.Group[3] = 5, 6, 7, 8
 	h.MemberLens[1] = 99
-	got, err := DecodeHeader(EncodeHeader(&h))
+	buf := EncodeHeader(&h)
+	if buf[4] != fragVersion {
+		t.Fatalf("legacy header encoded as version %d", buf[4])
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode normalizes the zero-value legacy geometry to explicit XOR m=1.
+	h.Codec, h.NumParity = uint8(erasure.KindXOR), 1
+	if got != h {
+		t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, h)
+	}
+
+	// RS geometry round-trips through a version-2 header.
+	h.Codec, h.NumParity = uint8(erasure.KindRS), 2
+	buf = EncodeHeader(&h)
+	if buf[4] != fragVersion2 {
+		t.Fatalf("rs header encoded as version %d", buf[4])
+	}
+	got, err = DecodeHeader(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != h {
-		t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, h)
+		t.Fatalf("v2 roundtrip:\n got %+v\nwant %+v", got, h)
 	}
 }
 
@@ -86,9 +107,17 @@ func TestQuickHeaderRoundTrip(t *testing.T) {
 			FID:      wire.FID(fid),
 			StripeID: stripe,
 			DataLen:  dataLen,
+			// Decode normalizes legacy zero values to these, so set them
+			// for the == comparison; odd dataLens exercise version 2.
+			Codec:     uint8(erasure.KindXOR),
+			NumParity: 1,
 		}
 		if kindParity {
 			h.Kind = FragParity
+		}
+		if w >= 3 && dataLen%2 == 1 {
+			h.Codec = uint8(erasure.KindRS)
+			h.NumParity = uint8(dataLen%uint32(w-1)) + 1
 		}
 		for i := 0; i < int(w); i++ {
 			h.Group[i] = wire.ServerID(i * 3)
@@ -247,12 +276,16 @@ func TestQuickParityReconstruction(t *testing.T) {
 		payloadSize := int(sizeSeed)%512 + 64
 		nData := width - 1
 		data := make([][]byte, nData)
-		acc := newParityAccum(payloadSize)
+		code, err := erasure.New(erasure.KindXOR, nData, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := newParityAccum(code, payloadSize)
 		for i := 0; i < nData; i++ {
 			n := rng.Intn(payloadSize + 1)
 			data[i] = make([]byte, n)
 			rng.Read(data[i])
-			acc.add(i, data[i])
+			acc.add(i, i, data[i])
 		}
 		miss := int(missSeed) % nData
 		var others [][]byte
@@ -261,7 +294,7 @@ func TestQuickParityReconstruction(t *testing.T) {
 				others = append(others, d)
 			}
 		}
-		got := ReconstructPayload(acc.buf, others, uint32(len(data[miss])))
+		got := ReconstructPayload(acc.bufs[0], others, uint32(len(data[miss])))
 		return bytes.Equal(got, data[miss])
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {

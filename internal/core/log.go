@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"swarm/internal/erasure"
 	"swarm/internal/fragio"
 	"swarm/internal/model"
 	"swarm/internal/transport"
@@ -43,6 +44,17 @@ type Config struct {
 	// benchmark's single-server configuration, and by anyone who prefers
 	// capacity over availability).
 	DisableParity bool
+	// ParityShards is the number of redundancy fragments per stripe (m):
+	// the stripe survives any m simultaneous member losses. Defaults
+	// to 1 (the paper's single rotating parity). Must leave at least one
+	// data slot (m < Width).
+	ParityShards int
+	// Codec selects the erasure code. Defaults to XOR for ParityShards
+	// ≤ 1 (byte-identical to the pre-erasure format) and Reed–Solomon
+	// otherwise. The codec is stamped into every fragment header, so
+	// readers decode each stripe with the code that wrote it and logs
+	// may mix formats freely.
+	Codec erasure.Kind
 	// PipelineDepth bounds in-flight fragment stores per server. The
 	// default of 2 mirrors the prototype: one fragment crosses the
 	// network while the server writes the previous one to disk (§2.1.2).
@@ -113,6 +125,8 @@ type Log struct {
 	byServer    map[wire.ServerID]transport.ServerConn
 	width       int
 	parity      bool
+	nparity     int          // parity shards per stripe (0 when parity is off)
+	codec       erasure.Code // nil when parity is off
 	fragSize    int
 	payloadSize int
 
@@ -125,7 +139,7 @@ type Log struct {
 	registered map[ServiceID]bool         // guarded by mu
 	locations  map[wire.FID]wire.ServerID // guarded by mu
 	inflight   map[wire.FID][]byte        // guarded by mu
-	degraded   map[wire.FID]wire.ServerID // stores skipped: server unreachable, stripe still parity-covered; guarded by mu
+	degraded   map[uint64]map[wire.FID]wire.ServerID // per-stripe set of stores skipped: server unreachable, stripe still redundancy-covered; guarded by mu
 	pendingDel map[wire.FID]wire.ServerID // reclaim deletes deferred: server unreachable when its stripe died; guarded by mu
 	prealloced map[uint64]bool            // stripes whose slots have been reserved; guarded by mu
 	needPre    []uint64                   // stripes awaiting preallocation; guarded by mu
@@ -169,6 +183,12 @@ type LogStats struct {
 	// reclaimed (its data has moved) and the orphan fragment is deleted
 	// once the server answers again (FlushDeletes, RebuildServer).
 	DeferredDeletes int64
+	// MinSpareRedundancy is the distance to data loss: the minimum
+	// number of additional member losses any currently degraded stripe
+	// can absorb. Equal to ParityShards when nothing is degraded; zero
+	// means some stripe is one failure from losing data. Computed at
+	// snapshot time, not a counter.
+	MinSpareRedundancy int64
 }
 
 // Open opens (or recovers) a client's log and returns the recovery
@@ -199,27 +219,53 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 2
 	}
+	parity := cfg.Width >= 2 && !cfg.DisableParity
+	if cfg.ParityShards == 0 {
+		cfg.ParityShards = 1
+	}
+	if cfg.Codec == 0 {
+		if cfg.ParityShards > 1 {
+			cfg.Codec = erasure.KindRS
+		} else {
+			cfg.Codec = erasure.KindXOR
+		}
+	}
+	var code erasure.Code
+	if parity {
+		if cfg.ParityShards >= cfg.Width {
+			return nil, nil, fmt.Errorf("%w: %d parity shards leave no data slot in width %d", ErrConfig, cfg.ParityShards, cfg.Width)
+		}
+		var cerr error
+		code, cerr = erasure.New(cfg.Codec, cfg.Width-cfg.ParityShards, cfg.ParityShards)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrConfig, cerr)
+		}
+	}
 	l := &Log{
 		cfg:         cfg,
 		client:      cfg.Client,
 		servers:     cfg.Servers,
 		byServer:    make(map[wire.ServerID]transport.ServerConn, len(cfg.Servers)),
 		width:       cfg.Width,
-		parity:      cfg.Width >= 2 && !cfg.DisableParity,
+		parity:      parity,
+		codec:       code,
 		fragSize:    cfg.FragmentSize,
 		payloadSize: cfg.FragmentSize - HeaderSize,
 		ckpts:       make(map[ServiceID]BlockAddr),
 		registered:  make(map[ServiceID]bool),
 		locations:   make(map[wire.FID]wire.ServerID),
 		inflight:    make(map[wire.FID][]byte),
-		degraded:    make(map[wire.FID]wire.ServerID),
+		degraded:    make(map[uint64]map[wire.FID]wire.ServerID),
 		pendingDel:  make(map[wire.FID]wire.ServerID),
 		prealloced:  make(map[uint64]bool),
 		usage:       NewUsageTable(),
 		recon:       newFragCache(max(8, cfg.ReadaheadFragments)),
 		readahead:   cfg.ReadaheadFragments > 0,
 	}
-	l.pacc = newParityAccum(l.payloadSize)
+	if parity {
+		l.nparity = cfg.ParityShards
+		l.pacc = newParityAccum(code, l.payloadSize)
+	}
 	for _, sc := range cfg.Servers {
 		if _, dup := l.byServer[sc.ID()]; dup {
 			return nil, nil, fmt.Errorf("%w: duplicate server id %d", ErrConfig, sc.ID())
@@ -284,8 +330,23 @@ func (l *Log) Servers() []transport.ServerConn { return l.servers }
 func (l *Log) Stats() LogStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	s := l.stats
+	s.MinSpareRedundancy = int64(l.nparity)
+	for _, set := range l.degraded {
+		if spare := int64(l.nparity - len(set)); spare < s.MinSpareRedundancy {
+			s.MinSpareRedundancy = spare
+		}
+	}
+	return s
 }
+
+// ParityShards returns the number of redundancy fragments per stripe
+// (0 when parity is disabled).
+func (l *Log) ParityShards() int { return l.nparity }
+
+// Codec returns the erasure code writing new stripes, or nil when
+// parity is disabled.
+func (l *Log) Codec() erasure.Code { return l.codec }
 
 // EngineStats returns a snapshot of the fragment I/O engine's counters
 // (fetches, gathers, broadcasts, deduplicated flights, store retries).
@@ -304,14 +365,48 @@ func (l *Log) RegisterService(svc ServiceID) {
 
 func (l *Log) stripeOf(seq uint64) uint64 { return seq / uint64(l.width) }
 
-// parityIndex returns the parity member's index within stripe, or -1 when
-// parity is disabled. Rotating the parity position by stripe number
-// balances server load during reconstruction (§2.1.2).
+// parityIndex returns the first parity member's index within stripe, or
+// -1 when parity is disabled. Rotating the parity position by stripe
+// number balances server load during reconstruction (§2.1.2). With m
+// parity shards the slots are the m consecutive positions starting
+// here (mod width); slot j=0 coincides with the classic single-parity
+// position, so the legacy format is exactly the m=1 case.
 func (l *Log) parityIndex(stripe uint64) int {
 	if !l.parity {
 		return -1
 	}
 	return int(stripe % uint64(l.width))
+}
+
+// paritySlot returns the member index of stripe's j-th parity shard.
+func (l *Log) paritySlot(stripe uint64, j int) int {
+	return int((stripe + uint64(j)) % uint64(l.width))
+}
+
+// parityOrdinal returns (j, true) when member index idx is stripe's
+// j-th parity slot.
+func (l *Log) parityOrdinal(stripe uint64, idx int) (int, bool) {
+	if !l.parity {
+		return 0, false
+	}
+	d := (idx - int(stripe%uint64(l.width)) + l.width) % l.width
+	if d < l.nparity {
+		return d, true
+	}
+	return 0, false
+}
+
+// dataOrdinal returns member index idx's data-shard ordinal: its rank
+// among the stripe's non-parity slots. This is the shard numbering the
+// erasure code sees (data 0..k-1, then parity k..k+m-1).
+func (l *Log) dataOrdinal(stripe uint64, idx int) int {
+	n := 0
+	for x := 0; x < idx; x++ {
+		if _, ok := l.parityOrdinal(stripe, x); !ok {
+			n++
+		}
+	}
+	return n
 }
 
 // serverFor returns the connection storing member index of stripe.
@@ -331,7 +426,10 @@ func (l *Log) fillGroup(h *Header) {
 // nextDataSeq returns the first sequence number ≥ seq that is not a
 // parity slot.
 func (l *Log) nextDataSeq(seq uint64) uint64 {
-	for l.parity && int(seq%uint64(l.width)) == l.parityIndex(l.stripeOf(seq)) {
+	for l.parity {
+		if _, ok := l.parityOrdinal(l.stripeOf(seq), int(seq%uint64(l.width))); !ok {
+			break
+		}
 		seq++
 	}
 	return seq
@@ -472,9 +570,7 @@ func (l *Log) sealCurrentLocked(mark bool) []sealedFrag {
 	l.cur = nil
 	out := []sealedFrag{l.makeSealedLocked(fb, mark)}
 	if l.parity {
-		if p := l.maybeSealParityLocked(fb.stripe); p != nil {
-			out = append(out, *p)
-		}
+		out = append(out, l.maybeSealParityLocked(fb.stripe)...)
 	} else {
 		l.usage.FragmentSealed(fb.stripe, true)
 	}
@@ -492,13 +588,14 @@ func (l *Log) makeSealedLocked(fb *fragBuilder, mark bool) sealedFrag {
 		DataLen:    uint32(dataLen),
 		PayloadCRC: crc32.ChecksumIEEE(fb.payload[:dataLen]),
 	}
+	l.stampGeometry(&h)
 	l.fillGroup(&h)
 	frame := make([]byte, HeaderSize+dataLen)
 	copy(frame, EncodeHeader(&h))
 	copy(frame[HeaderSize:], fb.payload[:dataLen])
 	conn := l.serverFor(fb.stripe, int(fb.index))
 	if l.parity {
-		l.pacc.add(int(fb.index), fb.payload[:dataLen])
+		l.pacc.add(l.dataOrdinal(fb.stripe, int(fb.index)), int(fb.index), fb.payload[:dataLen])
 		l.usage.FragmentSealed(fb.stripe, false)
 	}
 	l.locations[fb.fid] = conn.ID()
@@ -508,9 +605,20 @@ func (l *Log) makeSealedLocked(fb *fragBuilder, mark bool) sealedFrag {
 	return sealedFrag{conn: conn, fid: fb.fid, frame: frame, mark: mark, payload: fb.payload[:dataLen]}
 }
 
-// maybeSealParityLocked emits the parity fragment if every data member of
-// stripe has been sealed.
-func (l *Log) maybeSealParityLocked(stripe uint64) *sealedFrag {
+// stampGeometry writes the log's erasure configuration into a header.
+// The XOR m=1 configuration round-trips through a version-1 header,
+// byte-identical to the pre-erasure format.
+func (l *Log) stampGeometry(h *Header) {
+	if !l.parity {
+		return
+	}
+	h.Codec = uint8(l.codec.Kind())
+	h.NumParity = uint8(l.nparity)
+}
+
+// maybeSealParityLocked emits the stripe's parity fragments if every
+// data member of stripe has been sealed.
+func (l *Log) maybeSealParityLocked(stripe uint64) []sealedFrag {
 	if l.pacc.members == 0 {
 		return nil
 	}
@@ -520,37 +628,44 @@ func (l *Log) maybeSealParityLocked(stripe uint64) *sealedFrag {
 	return l.sealParityLocked(stripe)
 }
 
-func (l *Log) sealParityLocked(stripe uint64) *sealedFrag {
-	pIdx := l.parityIndex(stripe)
+// sealParityLocked emits all m parity fragments of stripe from the
+// accumulators and resets them for the next stripe.
+func (l *Log) sealParityLocked(stripe uint64) []sealedFrag {
 	var maxLen uint32
 	for _, n := range l.pacc.lens {
 		if n > maxLen {
 			maxLen = n
 		}
 	}
-	fid := wire.MakeFID(l.client, stripe*uint64(l.width)+uint64(pIdx))
-	h := Header{
-		Kind:       FragParity,
-		Width:      uint8(l.width),
-		Index:      uint8(pIdx),
-		FID:        fid,
-		StripeID:   stripe,
-		DataLen:    maxLen,
-		MemberLens: l.pacc.lens,
-		PayloadCRC: crc32.ChecksumIEEE(l.pacc.buf[:maxLen]),
+	out := make([]sealedFrag, 0, l.nparity)
+	for j := 0; j < l.nparity; j++ {
+		pIdx := l.paritySlot(stripe, j)
+		fid := wire.MakeFID(l.client, stripe*uint64(l.width)+uint64(pIdx))
+		h := Header{
+			Kind:       FragParity,
+			Width:      uint8(l.width),
+			Index:      uint8(pIdx),
+			FID:        fid,
+			StripeID:   stripe,
+			DataLen:    maxLen,
+			MemberLens: l.pacc.lens,
+			PayloadCRC: crc32.ChecksumIEEE(l.pacc.bufs[j][:maxLen]),
+		}
+		l.stampGeometry(&h)
+		l.fillGroup(&h)
+		frame := make([]byte, HeaderSize+int(maxLen))
+		copy(frame, EncodeHeader(&h))
+		copy(frame[HeaderSize:], l.pacc.bufs[j][:maxLen])
+		conn := l.serverFor(stripe, pIdx)
+		l.locations[fid] = conn.ID()
+		l.stats.ParityFragments++
+		l.stats.BytesStored += int64(len(frame))
+		out = append(out, sealedFrag{conn: conn, fid: fid, frame: frame})
 	}
-	l.fillGroup(&h)
-	frame := make([]byte, HeaderSize+int(maxLen))
-	copy(frame, EncodeHeader(&h))
-	copy(frame[HeaderSize:], l.pacc.buf[:maxLen])
 	l.pacc.reset()
 	delete(l.prealloced, stripe) // stripe complete: stop tracking
-	conn := l.serverFor(stripe, pIdx)
-	l.locations[fid] = conn.ID()
 	l.usage.FragmentSealed(stripe, true)
-	l.stats.ParityFragments++
-	l.stats.BytesStored += int64(len(frame))
-	return &sealedFrag{conn: conn, fid: fid, frame: frame}
+	return out
 }
 
 // closeStripeLocked seals the open fragment and pads the current stripe
@@ -627,11 +742,12 @@ func (l *Log) ship(frags []sealedFrag) {
 }
 
 // noteDegraded records a failed fragment store as a degraded write when
-// the stripe stays parity-covered. Parity tolerates exactly one missing
-// member per stripe, so the first unreachable-server failure in a stripe
-// degrades the write; a second (or any failure without parity, or any
-// definitive server error like no-space) exhausts redundancy and the
-// caller must surface it. Returns whether the failure was absorbed.
+// the stripe stays redundancy-covered. A stripe tolerates up to m
+// missing members (one for the classic XOR parity), so the first m
+// unreachable-server failures in a stripe degrade the write; the next
+// (or any failure without parity, or any definitive server error like
+// no-space) exhausts redundancy and the caller must surface it.
+// Returns whether the failure was absorbed.
 func (l *Log) noteDegraded(fid wire.FID, server wire.ServerID, err error) bool {
 	if !l.parity || !errors.Is(err, transport.ErrUnavailable) {
 		return false
@@ -639,28 +755,45 @@ func (l *Log) noteDegraded(fid wire.FID, server wire.ServerID, err error) bool {
 	stripe := l.stripeOf(fid.Seq())
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for d := range l.degraded {
-		if d != fid && l.stripeOf(d.Seq()) == stripe {
-			return false // another member already missing: stripe at risk
-		}
+	set := l.degraded[stripe]
+	if _, dup := set[fid]; dup {
+		return true
 	}
-	if _, dup := l.degraded[fid]; !dup {
-		l.degraded[fid] = server
-		l.stats.DegradedWrites++
+	if len(set) >= l.nparity {
+		return false // redundancy exhausted: stripe at risk
+	}
+	if set == nil {
+		set = make(map[wire.FID]wire.ServerID, l.nparity)
+		l.degraded[stripe] = set
 		l.stats.DegradedStripes++
 	}
+	set[fid] = server
+	l.stats.DegradedWrites++
 	return true
+}
+
+// clearDegradedLocked drops fid from its stripe's degraded set.
+func (l *Log) clearDegradedLocked(fid wire.FID) {
+	stripe := l.stripeOf(fid.Seq())
+	if set := l.degraded[stripe]; set != nil {
+		delete(set, fid)
+		if len(set) == 0 {
+			delete(l.degraded, stripe)
+		}
+	}
 }
 
 // DegradedFIDs returns the fragments whose store was skipped because
 // their server was unreachable, in sequence order. Their stripes remain
-// parity-covered; RebuildServer (or ReclaimStripe) clears the entries it
-// resolves.
+// redundancy-covered; RebuildServer (or ReclaimStripe) clears the
+// entries it resolves.
 func (l *Log) DegradedFIDs() []wire.FID {
 	l.mu.Lock()
-	out := make([]wire.FID, 0, len(l.degraded))
-	for fid := range l.degraded {
-		out = append(out, fid)
+	var out []wire.FID
+	for _, set := range l.degraded {
+		for fid := range set {
+			out = append(out, fid)
+		}
 	}
 	l.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -873,7 +1006,7 @@ func (l *Log) ReclaimStripe(stripe uint64) error {
 		l.mu.Lock()
 		delete(l.locations, fid)
 		delete(l.prealloced, stripe)
-		delete(l.degraded, fid)
+		l.clearDegradedLocked(fid)
 		delete(l.inflight, fid)
 		l.mu.Unlock()
 		l.recon.drop(fid)

@@ -1,6 +1,10 @@
 package core
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"swarm/internal/erasure"
+)
 
 // XORInto accumulates src into dst (dst ^= src). src may be shorter than
 // dst; missing bytes are treated as zero, which is exactly the padding
@@ -26,30 +30,41 @@ func XORInto(dst, src []byte) {
 	}
 }
 
-// parityAccum incrementally computes a stripe's parity payload as data
+// parityAccum incrementally computes a stripe's parity payloads as data
 // fragments are sealed, so parity is ready the moment the stripe closes
 // ("a stripe's parity is computed as its fragments are written", §2.1.2).
+// With the erasure layer a stripe carries m parity buffers; the classic
+// single rotating XOR parity is the m=1 case.
 type parityAccum struct {
-	buf     []byte
+	code    erasure.Code
+	bufs    [][]byte // m accumulators, each payloadSize bytes
 	lens    [MaxWidth]uint32
 	members int
 }
 
-func newParityAccum(payloadSize int) *parityAccum {
-	return &parityAccum{buf: make([]byte, payloadSize)}
+func newParityAccum(code erasure.Code, payloadSize int) *parityAccum {
+	p := &parityAccum{code: code, bufs: make([][]byte, code.ParityShards())}
+	for j := range p.bufs {
+		p.bufs[j] = make([]byte, payloadSize)
+	}
+	return p
 }
 
-// add folds one sealed data payload into the accumulator.
-func (p *parityAccum) add(index int, payload []byte) {
-	XORInto(p.buf, payload)
+// add folds one sealed data payload into the accumulators. index is the
+// member's position within the stripe; di is its data-shard ordinal
+// (rank among the stripe's non-parity slots).
+func (p *parityAccum) add(di, index int, payload []byte) {
+	p.code.AddData(di, payload, p.bufs)
 	p.lens[index] = uint32(len(payload))
 	p.members++
 }
 
 // reset clears the accumulator for the next stripe.
 func (p *parityAccum) reset() {
-	for i := range p.buf {
-		p.buf[i] = 0
+	for _, buf := range p.bufs {
+		for i := range buf {
+			buf[i] = 0
+		}
 	}
 	p.lens = [MaxWidth]uint32{}
 	p.members = 0

@@ -183,6 +183,7 @@ func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 			Kind: FragData, Width: uint8(l.width), Index: fb.index,
 			FID: fb.fid, StripeID: fb.stripe, DataLen: uint32(fb.off),
 		}
+		l.stampGeometry(&h)
 		l.fillGroup(&h)
 		payload := make([]byte, fb.off)
 		copy(payload, fb.payload[:fb.off])
@@ -200,6 +201,7 @@ func (l *Log) FetchFragment(fid wire.FID) (Header, []byte, error) {
 			FID: fid, StripeID: l.stripeOf(seq), DataLen: uint32(len(p)),
 			PayloadCRC: crc32.ChecksumIEEE(p),
 		}
+		l.stampGeometry(&h)
 		l.fillGroup(&h)
 		payload := append([]byte(nil), p...)
 		l.mu.Unlock()
@@ -336,15 +338,18 @@ func (l *Log) reconstruct(fid wire.FID) (Header, []byte, error) {
 	return f.header, f.payload, nil
 }
 
-// reconstructFragment rebuilds a missing fragment from the surviving
+// reconstructFragment rebuilds a missing fragment from surviving
 // members of its stripe. Clients reconstruct the fragments they need;
 // servers never participate and never learn a reconstruction happened
 // (§2.3.3). The stripe is discovered by broadcasting for a neighboring
 // fragment — numbering within a stripe is consecutive, so a sibling is
-// within MaxWidth-1 sequence numbers — and reading the stripe group from
-// its header. The surviving members are then gathered in one parallel
-// fan-out: width-W reconstruction costs ~max(member latency), not the
-// sum of W-1 sequential round trips.
+// within MaxWidth-1 sequence numbers — and the stripe group, the
+// erasure codec, and the parity count are all read from its header, so
+// every stripe decodes with the code that wrote it regardless of this
+// client's configuration (mixed-format logs read cleanly). Any k of the
+// n = k+m members suffice: the gather returns as soon as k arrive, so
+// reconstruction under multiple failures costs ~the k-th fastest member
+// fetch, not the slowest of all survivors.
 func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 	sib, err := l.findSibling(fid)
 	if err != nil {
@@ -356,10 +361,14 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 	if missIdx < 0 || missIdx >= width {
 		return Header{}, nil, fmt.Errorf("%w: sibling stripe does not contain %v", ErrLost, fid)
 	}
-	parityIdx := int(sib.StripeID % uint64(width))
+	code, err := sib.ErasureCode()
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("%w: stripe %d: %v", ErrBadFragment, sib.StripeID, err)
+	}
+	k := code.DataShards()
 
-	// Gather every surviving member concurrently. All must be present:
-	// parity tolerates exactly one missing fragment per stripe.
+	// Gather any k of the other width-1 members. Stragglers past the
+	// k-th are abandoned; the engine recycles their buffers.
 	members := make([]fragio.Member, 0, width-1)
 	idxOf := make([]int, 0, width-1)
 	for i := 0; i < width; i++ {
@@ -369,83 +378,103 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 		members = append(members, fragio.Member{FID: sib.MemberFID(i), Server: sib.Group[i]})
 		idxOf = append(idxOf, i)
 	}
-	results := l.engine.Gather(members)
-	// Member payloads are only XORed into the rebuilt fragment below;
-	// nothing past this function aliases them, so they go back to the
-	// transport's buffer pool on every exit path.
+	results := l.engine.GatherK(members, k)
+	// Member payloads only feed the decode below; nothing past this
+	// function aliases them, so they go back to the transport's buffer
+	// pool on every exit path. (Reconstructed shards are fresh
+	// allocations, never pooled.)
 	defer func() {
 		for _, r := range results {
 			wire.PutBuffer(r.Payload)
 		}
 	}()
-	var (
-		parityHdr     Header
-		parityPayload []byte
-		others        [][]byte
-	)
-	for k, r := range results {
+
+	// Place survivors by erasure-shard ordinal (data 0..k-1 in member
+	// order skipping parity slots, then parity k..k+m-1).
+	shards := make([][]byte, width)
+	var lens [MaxWidth]uint32 // data members' DataLens, by member index
+	haveLens := false
+	got := 0
+	for ri, r := range results {
 		if r.Err != nil {
-			return Header{}, nil, fmt.Errorf("%w: stripe member %v also unavailable: %v", ErrLost, r.FID, r.Err)
+			continue
 		}
-		if idxOf[k] == parityIdx {
-			parityHdr, parityPayload = r.Decoded.(Header), r.Payload
+		idx := idxOf[ri]
+		h := r.Decoded.(Header)
+		_, wantParity := sib.ParityOrdinal(idx)
+		if wantParity != (h.Kind == FragParity) {
+			// The stripe's real layout contradicts the geometry its
+			// headers claim (e.g. a parity-free log): decoding would
+			// silently corrupt, so fail loudly.
+			return Header{}, nil, fmt.Errorf("%w: stripe %d member %d kind %d does not match its slot", ErrLost, sib.StripeID, idx, h.Kind)
+		}
+		if h.Kind == FragParity {
+			lens = h.MemberLens
+			haveLens = true
 		} else {
-			others = append(others, r.Payload)
+			lens[idx] = h.DataLen
 		}
+		p := r.Payload
+		if p == nil {
+			// A zero-length member (stripe padding) is present, not
+			// missing: nil is the decoder's missing-shard marker.
+			p = []byte{}
+		}
+		shards[sib.ShardOrdinal(idx)] = p
+		got++
+	}
+	if got < k {
+		return Header{}, nil, fmt.Errorf("%w: %d of %d stripe members available, need %d", ErrLost, got, width, k)
 	}
 	// Remember where the members were actually found (a gather may have
 	// located one by broadcast after its group server failed).
 	l.mu.Lock()
 	for _, r := range results {
-		if r.From != 0 {
+		if r.Err == nil && r.From != 0 {
 			l.locations[r.FID] = r.From
 		}
 	}
 	l.mu.Unlock()
 
-	if missIdx == parityIdx {
-		// Rebuilding the parity fragment itself: XOR the data members.
-		full := make([]byte, l.payloadSize)
-		var lens [MaxWidth]uint32
+	if err := code.Reconstruct(shards, l.payloadSize); err != nil {
+		return Header{}, nil, fmt.Errorf("%w: stripe %d: %v", ErrLost, sib.StripeID, err)
+	}
+	full := shards[sib.ShardOrdinal(missIdx)]
+
+	if _, isParity := sib.ParityOrdinal(missIdx); isParity {
+		// Rebuilding a parity member. Its header carries every data
+		// member's length: from a gathered parity sibling if one
+		// arrived, else all k data members arrived and their own
+		// headers supplied the lengths above.
 		var maxLen uint32
-		for _, p := range others {
-			XORInto(full, p)
-		}
-		// Member lens come from each surviving member's payload length.
-		j := 0
-		for i := 0; i < width; i++ {
-			if i == missIdx {
-				continue
+		for _, n := range lens {
+			if n > maxLen {
+				maxLen = n
 			}
-			lens[i] = uint32(len(others[j]))
-			if lens[i] > maxLen {
-				maxLen = lens[i]
-			}
-			j++
 		}
 		h := Header{
 			Kind: FragParity, Width: uint8(width), Index: uint8(missIdx),
 			FID: fid, StripeID: sib.StripeID, DataLen: maxLen,
 			Group: sib.Group, MemberLens: lens,
+			Codec: sib.Codec, NumParity: sib.NumParity,
 			PayloadCRC: crc32.ChecksumIEEE(full[:maxLen]),
 		}
 		l.bumpReconStat()
 		return h, full[:maxLen], nil
 	}
 
-	if len(parityPayload) == 0 && parityHdr.Kind != FragParity {
-		return Header{}, nil, fmt.Errorf("%w: no parity fragment for stripe %d", ErrLost, sib.StripeID)
+	// Rebuilding a data member: its true length comes from a parity
+	// sibling's MemberLens. One is always in hand — only k-1 other data
+	// members exist, so any k survivors include at least one parity.
+	if !haveLens {
+		return Header{}, nil, fmt.Errorf("%w: no parity header for stripe %d", ErrLost, sib.StripeID)
 	}
-	missingLen := parityHdr.MemberLens[missIdx]
-	full := make([]byte, l.payloadSize)
-	copy(full, parityPayload)
-	for _, p := range others {
-		XORInto(full, p)
-	}
+	missingLen := lens[missIdx]
 	h := Header{
 		Kind: FragData, Width: uint8(width), Index: uint8(missIdx),
 		FID: fid, StripeID: sib.StripeID, DataLen: missingLen,
-		Group:      sib.Group,
+		Group: sib.Group,
+		Codec: sib.Codec, NumParity: sib.NumParity,
 		PayloadCRC: crc32.ChecksumIEEE(full[:missingLen]),
 	}
 	l.bumpReconStat()

@@ -59,8 +59,10 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 		}
 	}
 	l.mu.Lock()
-	for fid := range l.degraded {
-		known[fid.Seq()] = true
+	for _, set := range l.degraded {
+		for fid := range set {
+			known[fid.Seq()] = true
+		}
 	}
 	l.mu.Unlock()
 
@@ -96,7 +98,7 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 			}
 			l.mu.Lock()
 			l.locations[fid] = id
-			delete(l.degraded, fid)
+			l.clearDegradedLocked(fid)
 			delete(l.inflight, fid)
 			l.mu.Unlock()
 			rebuilt++

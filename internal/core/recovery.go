@@ -334,17 +334,19 @@ func sortHoles(holes []wire.FID) {
 	sort.Slice(holes, func(i, j int) bool { return holes[i] < holes[j] })
 }
 
-// VerifyStripe checks that every member of a stripe is readable and the
-// parity actually equals the XOR of the data payloads. It is a
-// consistency check used by tests and the swarmctl tool. The members are
-// gathered in one parallel fan-out through the engine; reconstruction is
-// deliberately not attempted — verification wants the stored bytes.
+// VerifyStripe checks that every member of a stripe is readable and
+// every parity payload actually equals what the stripe's codec computes
+// over the data payloads. It is a consistency check used by tests and
+// the swarmctl tool. The geometry (codec, parity count, slots) comes
+// from the stored headers, not this client's configuration, so mixed
+// XOR/RS logs verify stripe by stripe. The members are gathered in one
+// parallel fan-out through the engine; reconstruction is deliberately
+// not attempted — verification wants the stored bytes.
 func (l *Log) VerifyStripe(stripe uint64) error {
 	base := stripe * uint64(l.width)
 	if !l.parity {
 		return errors.New("core: parity disabled")
 	}
-	pIdx := l.parityIndex(stripe)
 	members := make([]fragio.Member, l.width)
 	l.mu.Lock()
 	for i := 0; i < l.width; i++ {
@@ -353,34 +355,54 @@ func (l *Log) VerifyStripe(stripe uint64) error {
 	}
 	l.mu.Unlock()
 	results := l.engine.Gather(members)
-	// Payloads are XORed/compared and die here; recycle them.
+	// Payloads are re-encoded/compared and die here; recycle them.
 	defer func() {
 		for _, r := range results {
 			wire.PutBuffer(r.Payload)
 		}
 	}()
-	acc := make([]byte, l.payloadSize)
-	var parityPayload []byte
-	var parityLen uint32
+	var geom Header
 	for i, r := range results {
 		if r.Err != nil {
 			return fmt.Errorf("stripe %d member %d: %w", stripe, i, r.Err)
 		}
+		if i == 0 {
+			geom = r.Decoded.(Header)
+		}
+	}
+	code, err := geom.ErasureCode()
+	if err != nil {
+		return fmt.Errorf("stripe %d: %w", stripe, err)
+	}
+	// Recompute every parity payload from the stored data payloads.
+	acc := make([][]byte, code.ParityShards())
+	for j := range acc {
+		acc[j] = make([]byte, l.payloadSize)
+	}
+	parityOf := make(map[int][]byte, code.ParityShards()) // member index → stored parity
+	for i, r := range results {
 		h := r.Decoded.(Header)
-		if i == pIdx {
-			parityPayload = r.Payload
-			parityLen = h.DataLen
+		_, isParity := geom.ParityOrdinal(i)
+		if isParity != (h.Kind == FragParity) {
+			return fmt.Errorf("%w: stripe %d member %d kind %d does not match its slot", ErrBadFragment, stripe, i, h.Kind)
+		}
+		if isParity {
+			parityOf[i] = r.Payload
 			continue
 		}
-		XORInto(acc, r.Payload)
+		code.AddData(geom.ShardOrdinal(i), r.Payload, acc)
 	}
-	for i := 0; i < l.payloadSize; i++ {
-		var want byte
-		if i < int(parityLen) {
-			want = parityPayload[i]
-		}
-		if acc[i] != want {
-			return fmt.Errorf("%w: stripe %d parity mismatch at byte %d", ErrBadFragment, stripe, i)
+	for i, stored := range parityOf {
+		j, _ := geom.ParityOrdinal(i)
+		want := acc[j]
+		for b := 0; b < l.payloadSize; b++ {
+			var s byte
+			if b < len(stored) {
+				s = stored[b]
+			}
+			if want[b] != s {
+				return fmt.Errorf("%w: stripe %d parity %d mismatch at byte %d", ErrBadFragment, stripe, j, b)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,278 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// encode builds the m parity shards for data via AddData, the write
+// path's incremental shape.
+func encode(t testing.TB, c Code, data [][]byte, size int) [][]byte {
+	t.Helper()
+	parity := make([][]byte, c.ParityShards())
+	for j := range parity {
+		parity[j] = make([]byte, size)
+	}
+	for i, d := range data {
+		c.AddData(i, d, parity)
+	}
+	return parity
+}
+
+func randShards(rng *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		// Variable lengths: shards are logically zero-padded to size.
+		n := rng.Intn(size + 1)
+		data[i] = make([]byte, n)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+// padded returns s zero-extended to size, for byte-exact comparison
+// against reconstructed shards.
+func padded(s []byte, size int) []byte {
+	out := make([]byte, size)
+	copy(out, s)
+	return out
+}
+
+func TestGFTables(t *testing.T) {
+	// Field axioms on a sample: a·a^-1 = 1, distributivity over ⊕.
+	for a := 1; a < 256; a++ {
+		if got := mul(byte(a), inv(byte(a))); got != 1 {
+			t.Fatalf("a·a^-1 = %d for a=%d", got, a)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(i*7+1), byte(i*13+5), byte(i*31+11)
+		if mul(a, b^c) != mul(a, b)^mul(a, c) {
+			t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+		}
+		if mul(a, b) != mul(b, a) {
+			t.Fatalf("commutativity fails at %d,%d", a, b)
+		}
+	}
+	if mul(0, 77) != 0 || mul(77, 0) != 0 {
+		t.Fatal("zero annihilation fails")
+	}
+}
+
+func TestMulSliceXorMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 300)
+	rng.Read(src)
+	for _, c := range []byte{0, 1, 2, 0x53, 0xCA, 0xFF} {
+		dst := make([]byte, 300)
+		rng.Read(dst)
+		want := make([]byte, 300)
+		for i := range want {
+			want[i] = dst[i] ^ mul(c, src[i])
+		}
+		mulSliceXor(c, dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("mulSliceXor(%#x) mismatch", c)
+		}
+	}
+}
+
+func TestCauchyAnyKRowsInvertible(t *testing.T) {
+	// The any-k-of-n guarantee, exhaustively for RS(4,2): every 4-subset
+	// of the 6 encode rows must be invertible.
+	r := newRS(4, 2)
+	n := 6
+	var subsets func(start int, chosen []int)
+	subsets = func(start int, chosen []int) {
+		if len(chosen) == r.k {
+			sub := newMatrix(r.k, r.k)
+			for ri, i := range chosen {
+				copy(sub[ri], r.encodeRow(i))
+			}
+			if _, err := sub.invert(); err != nil {
+				t.Fatalf("rows %v not invertible: %v", chosen, err)
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			subsets(i+1, append(chosen, i))
+		}
+	}
+	subsets(0, nil)
+}
+
+func TestXORMatchesLegacyParity(t *testing.T) {
+	// The XOR code must produce byte-identical parity to a plain running
+	// XOR — it is the same on-disk format as every pre-RS stripe.
+	rng := rand.New(rand.NewSource(2))
+	const size = 512
+	c, err := New(KindXOR, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 3, size)
+	parity := encode(t, c, data, size)
+	want := make([]byte, size)
+	for _, d := range data {
+		for i, b := range d {
+			want[i] ^= b
+		}
+	}
+	if !bytes.Equal(parity[0], want) {
+		t.Fatal("xor code parity differs from running xor")
+	}
+	// And it refuses double losses.
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1] = nil, nil
+	if err := c.Reconstruct(shards, size); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("two losses: err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestReconstructEveryLossPattern(t *testing.T) {
+	// RS(4,2): drop every 1- and 2-subset of the 6 members; every
+	// reconstruction must be byte-exact.
+	rng := rand.New(rand.NewSource(3))
+	const size = 333
+	c, err := New(KindRS, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 4, size)
+	parity := encode(t, c, data, size)
+	full := append(append([][]byte{}, data...), parity...)
+	for a := 0; a < 6; a++ {
+		for b := a; b < 6; b++ {
+			shards := make([][]byte, 6)
+			for i := range shards {
+				if i != a && i != b {
+					shards[i] = full[i]
+				}
+			}
+			if err := c.Reconstruct(shards, size); err != nil {
+				t.Fatalf("drop {%d,%d}: %v", a, b, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(padded(shards[i], size), padded(full[i], size)) {
+					t.Fatalf("drop {%d,%d}: shard %d differs", a, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructRejectsTooManyLosses(t *testing.T) {
+	c, _ := New(KindRS, 4, 2)
+	shards := make([][]byte, 6)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	shards[2] = make([]byte, 8)
+	if err := c.Reconstruct(shards, 8); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		k, m int
+	}{
+		{KindXOR, 3, 2},  // xor needs m=1
+		{KindRS, 0, 2},   // k >= 1
+		{KindRS, 4, 0},   // m >= 1
+		{KindRS, 254, 9}, // k+m over the field bound
+		{Kind(9), 4, 2},  // unknown kind
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.kind, tc.k, tc.m); !errors.Is(err, ErrConfig) {
+			t.Fatalf("New(%v,%d,%d) err = %v, want ErrConfig", tc.kind, tc.k, tc.m, err)
+		}
+	}
+	if _, err := ParseKind("zfec"); !errors.Is(err, ErrConfig) {
+		t.Fatalf("ParseKind err = %v", err)
+	}
+	for _, s := range []string{"xor", "rs"} {
+		k, err := ParseKind(s)
+		if err != nil || k.String() != s {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatalf("Kind(9).String() = %q", Kind(9).String())
+	}
+}
+
+func TestRSWideConfig(t *testing.T) {
+	// A wider code near the stripe maximum: RS(12,4), drop 4.
+	rng := rand.New(rand.NewSource(4))
+	const size = 100
+	c, err := New(KindRS, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 12, size)
+	parity := encode(t, c, data, size)
+	full := append(append([][]byte{}, data...), parity...)
+	shards := make([][]byte, 16)
+	copy(shards, full)
+	for _, drop := range []int{0, 5, 12, 15} {
+		shards[drop] = nil
+	}
+	if err := c.Reconstruct(shards, size); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(padded(shards[i], size), padded(full[i], size)) {
+			t.Fatalf("shard %d differs", i)
+		}
+	}
+}
+
+// FuzzErasureRoundTrip: encode random shards under a random (k, m),
+// drop up to m members, and assert byte-exact reconstruction of every
+// shard. Wired into `make fuzz-smoke`.
+func FuzzErasureRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint16(64), uint8(0b11))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(1), uint8(0b1))
+	f.Add(int64(3), uint8(8), uint8(2), uint16(300), uint8(0b10000001))
+	f.Add(int64(4), uint8(3), uint8(1), uint16(9), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, kSeed, mSeed uint8, sizeSeed uint16, dropMask uint8) {
+		k := int(kSeed)%12 + 1
+		m := int(mSeed)%4 + 1
+		size := int(sizeSeed)%1024 + 1
+		kind := KindRS
+		if m == 1 && seed%2 == 0 {
+			kind = KindXOR
+		}
+		c, err := New(kind, k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		data := randShards(rng, k, size)
+		parity := encode(t, c, data, size)
+		full := append(append([][]byte{}, data...), parity...)
+
+		// Drop up to m shards, chosen by the mask.
+		n := k + m
+		shards := make([][]byte, n)
+		copy(shards, full)
+		dropped := 0
+		for i := 0; i < n && dropped < m; i++ {
+			if dropMask&(1<<(i%8)) != 0 {
+				shards[i] = nil
+				dropped++
+			}
+		}
+		if err := c.Reconstruct(shards, size); err != nil {
+			t.Fatalf("reconstruct k=%d m=%d dropped=%d: %v", k, m, dropped, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(padded(shards[i], size), padded(full[i], size)) {
+				t.Fatalf("k=%d m=%d kind=%v: shard %d differs after reconstruction", k, m, kind, i)
+			}
+		}
+	})
+}

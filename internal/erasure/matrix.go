@@ -1,0 +1,86 @@
+package erasure
+
+import "fmt"
+
+// matrix is a dense GF(2^8) matrix, row-major.
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	buf := make([]byte, rows*cols)
+	for r := range m {
+		m[r] = buf[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return m
+}
+
+// cauchyParity returns the m×k parity block of the systematic encoding
+// matrix: coef[j][i] = 1/(x_j ⊕ y_i) with x_j = k+j and y_i = i. The x
+// and y element sets are disjoint, so every denominator is nonzero, and
+// a Cauchy matrix has the property that *every* square submatrix is
+// invertible — which is exactly the any-k-of-n guarantee: any k rows of
+// [I; C] form an invertible system.
+func cauchyParity(k, m int) matrix {
+	c := newMatrix(m, k)
+	for j := 0; j < m; j++ {
+		for i := 0; i < k; i++ {
+			c[j][i] = inv(byte(k+j) ^ byte(i))
+		}
+	}
+	return c
+}
+
+// identityRow returns row i of the k×k identity.
+func identityRow(k, i int) []byte {
+	row := make([]byte, k)
+	row[i] = 1
+	return row
+}
+
+// invert returns m^-1 via Gauss–Jordan elimination. m is destroyed.
+// Decode matrices are at most MaxShards×MaxShards, so cubic elimination
+// is microseconds — reconstruction cost is dominated by the shard-sized
+// multiply-accumulate loops, not the matrix algebra.
+func (m matrix) invert() (matrix, error) {
+	n := len(m)
+	out := newMatrix(n, n)
+	for i := range out {
+		out[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot; Cauchy-derived systems always have one, but a
+		// caller mixing duplicate rows would not, so fail loudly.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("erasure: singular decode matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		out[col], out[pivot] = out[pivot], out[col]
+		// Scale the pivot row to a leading 1.
+		if p := m[col][col]; p != 1 {
+			s := inv(p)
+			for c := 0; c < n; c++ {
+				m[col][c] = mul(s, m[col][c])
+				out[col][c] = mul(s, out[col][c])
+			}
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for c := 0; c < n; c++ {
+				m[r][c] ^= mul(f, m[col][c])
+				out[r][c] ^= mul(f, out[col][c])
+			}
+		}
+	}
+	return out, nil
+}

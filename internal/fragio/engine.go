@@ -39,6 +39,11 @@ import (
 // fragment.
 var ErrNotFound = errors.New("fragio: fragment not found on any server")
 
+// ErrSkipped marks a GatherK member that was not waited for because the
+// quorum had already been reached. It is not a failure: the member was
+// simply unnecessary.
+var ErrSkipped = errors.New("fragio: member skipped, gather quorum reached")
+
 // Format describes the fragment frame layout to the engine, so it can
 // fetch and validate whole fragments without importing the log format
 // (fragio must stay below core in the dependency order).
@@ -98,6 +103,13 @@ type Stats struct {
 	SharedFlights int64
 	// SharedLocates counts Locate calls deduplicated the same way.
 	SharedLocates int64
+	// KGathers counts quorum fan-outs (GatherK calls that could return
+	// early).
+	KGathers int64
+	// GatherStragglers counts members a GatherK abandoned after its
+	// quorum was reached (their fetches complete in the background and
+	// their buffers are recycled).
+	GatherStragglers int64
 }
 
 // Engine is the fragment I/O engine for one client over one cluster.
@@ -279,6 +291,62 @@ func (e *Engine) Gather(members []Member) []Result {
 		}(i, m)
 	}
 	wg.Wait()
+	return out
+}
+
+// GatherK fetches members concurrently and returns as soon as k of them
+// have succeeded — the erasure-coded read path, where any k of a
+// stripe's members suffice and waiting for the rest only adds the
+// slowest servers' latency. The returned slice always has one Result
+// per member, in order: members not waited for carry Err == ErrSkipped.
+// Fetches already in flight when the quorum lands keep running in the
+// background; a drainer recycles their payload buffers, so callers must
+// treat only the returned Results' payloads as theirs to release.
+// When k ≥ len(members) this is exactly Gather.
+func (e *Engine) GatherK(members []Member, k int) []Result {
+	if k >= len(members) {
+		return e.Gather(members)
+	}
+	e.bump(func(s *Stats) {
+		s.Gathers++
+		s.KGathers++
+		s.GatherMembers += int64(len(members))
+	})
+	type indexed struct {
+		i int
+		r Result
+	}
+	ch := make(chan indexed, len(members))
+	for i, m := range members {
+		go func(i int, m Member) {
+			ch <- indexed{i, e.fetchMember(m)}
+		}(i, m)
+	}
+	out := make([]Result, len(members))
+	for i, m := range members {
+		out[i] = Result{Member: m, Err: ErrSkipped}
+	}
+	succeeded, received := 0, 0
+	for received < len(members) && succeeded < k {
+		x := <-ch
+		received++
+		out[x.i] = x.r
+		if x.r.Err == nil {
+			succeeded++
+		}
+	}
+	if remaining := len(members) - received; remaining > 0 {
+		e.bump(func(s *Stats) { s.GatherStragglers += int64(remaining) })
+		// Stragglers' pooled buffers must not leak: drain them off the
+		// channel as they land and recycle. The channel is buffered to
+		// len(members), so the fetch goroutines never block either way.
+		go func() {
+			for j := 0; j < remaining; j++ {
+				x := <-ch
+				wire.PutBuffer(x.r.Payload)
+			}
+		}()
+	}
 	return out
 }
 

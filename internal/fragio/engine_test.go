@@ -422,3 +422,109 @@ func TestFetchRecyclesPayloadOnVerifyFailure(t *testing.T) {
 		t.Fatal("verify-failure path leaked the pooled payload buffer")
 	}
 }
+
+// TestGatherKStopsAtQuorum proves GatherK returns as soon as k members
+// answer, without waiting for slow stragglers, and marks the members it
+// did not wait for with ErrSkipped.
+func TestGatherKStopsAtQuorum(t *testing.T) {
+	const slow = 300 * time.Millisecond
+	var conns []transport.ServerConn
+	var members []Member
+	for i := 0; i < 4; i++ {
+		c := newFakeConn(wire.ServerID(i + 1))
+		c.put(fid(uint64(i)), []byte{byte(i + 1)})
+		if i >= 2 {
+			c.setLatency(slow)
+		}
+		conns = append(conns, c)
+		members = append(members, Member{FID: fid(uint64(i)), Server: c.ID()})
+	}
+	e := newEngine(conns...)
+	start := time.Now()
+	results := e.GatherK(members, 2)
+	elapsed := time.Since(start)
+	if elapsed >= slow {
+		t.Fatalf("GatherK waited %v; quorum of fast members should beat the %v stragglers", elapsed, slow)
+	}
+	if len(results) != len(members) {
+		t.Fatalf("got %d results, want %d", len(results), len(members))
+	}
+	var ok, skipped int
+	for i, r := range results {
+		switch {
+		case r.Err == nil:
+			ok++
+			if len(r.Payload) != 1 || r.Payload[0] != byte(i+1) {
+				t.Fatalf("member %d payload %v", i, r.Payload)
+			}
+		case errors.Is(r.Err, ErrSkipped):
+			skipped++
+		default:
+			t.Fatalf("member %d: %v", i, r.Err)
+		}
+	}
+	if ok != 2 || skipped != 2 {
+		t.Fatalf("ok=%d skipped=%d, want 2/2", ok, skipped)
+	}
+	st := e.Stats()
+	if st.KGathers != 1 {
+		t.Fatalf("KGathers = %d, want 1", st.KGathers)
+	}
+	if st.GatherStragglers != 2 {
+		t.Fatalf("GatherStragglers = %d, want 2", st.GatherStragglers)
+	}
+}
+
+// TestGatherKToleratesFailures: with one member missing its fragment,
+// GatherK keeps collecting until k successes arrive. The lost member
+// ends up with either its own fetch error or ErrSkipped (its broadcast
+// fallback may still be in flight when the quorum fills) — never a
+// payload.
+func TestGatherKToleratesFailures(t *testing.T) {
+	var conns []transport.ServerConn
+	var members []Member
+	for i := 0; i < 4; i++ {
+		c := newFakeConn(wire.ServerID(i + 1))
+		if i != 0 { // member 0's fragment is lost
+			c.put(fid(uint64(i)), []byte{byte(i + 1)})
+		}
+		conns = append(conns, c)
+		members = append(members, Member{FID: fid(uint64(i)), Server: c.ID()})
+	}
+	e := newEngine(conns...)
+	results := e.GatherK(members, 3)
+	var ok int
+	for _, r := range results {
+		if r.Err == nil {
+			ok++
+		}
+	}
+	if ok != 3 {
+		t.Fatalf("ok=%d, want 3", ok)
+	}
+	if results[0].Err == nil {
+		t.Fatal("lost member returned a payload")
+	}
+}
+
+// TestGatherKFullWidthDelegates: asking for k >= len(members) is a plain
+// Gather (every member waited for, no ErrSkipped).
+func TestGatherKFullWidthDelegates(t *testing.T) {
+	var conns []transport.ServerConn
+	var members []Member
+	for i := 0; i < 3; i++ {
+		c := newFakeConn(wire.ServerID(i + 1))
+		c.put(fid(uint64(i)), []byte{byte(i + 1)})
+		conns = append(conns, c)
+		members = append(members, Member{FID: fid(uint64(i)), Server: c.ID()})
+	}
+	e := newEngine(conns...)
+	for _, r := range e.GatherK(members, 3) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if st := e.Stats(); st.KGathers != 0 {
+		t.Fatalf("KGathers = %d, want 0 for full-width gather", st.KGathers)
+	}
+}
