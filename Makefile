@@ -54,11 +54,13 @@ bench-strict:
 
 # Tiny wirepath (serial vs multiplexed wire path, DESIGN.md §3.9),
 # servercommit (serial vs group-committed store path, DESIGN.md §3.10),
-# and erasure-geometry (write amplification vs reconstruction cost,
-# DESIGN.md §3.11) runs as CI smoke checks. Shape only by default; set
-# SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
+# erasure-geometry (write amplification vs reconstruction cost,
+# DESIGN.md §3.11), and rebalance (foreground throughput during an
+# elastic drain, DESIGN.md §3.12) runs as CI smoke checks. Shape only by
+# default; set SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup
+# ratios.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure' ./internal/bench
+	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure|TestRebalance' ./internal/bench
 
 # Short fuzzing pass over the wire codecs and the erasure coder (not
 # part of ci: fuzzing is open-ended by nature; run it before touching

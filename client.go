@@ -3,6 +3,7 @@ package swarm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"swarm/internal/aru"
@@ -88,12 +89,16 @@ type ClientOptions struct {
 // Client is one Swarm client: the owner of one striped log, plus the
 // service registry stacked on it.
 type Client struct {
-	id    ClientID
-	log   *core.Log
-	reg   *service.Registry
-	rec   *core.Recovery
-	conns []transport.ServerConn
-	acls  map[ServerID]wire.AID
+	id   ClientID
+	log  *core.Log
+	reg  *service.Registry
+	rec  *core.Recovery
+	opts ClientOptions
+
+	mu     sync.Mutex
+	conns  []transport.ServerConn
+	acls   map[ServerID]wire.AID
+	drains map[ServerID]*drainJob
 
 	cleaner *cleaner.Cleaner
 }
@@ -191,6 +196,7 @@ func connect(id ClientID, conns []transport.ServerConn, opts ClientOptions) (*Cl
 		log:   l,
 		reg:   service.NewRegistry(l),
 		rec:   rec,
+		opts:  opts,
 		conns: conns,
 		acls:  acls,
 	}, nil
@@ -204,8 +210,8 @@ func (c *Client) GrantAccess(ids ...ClientID) error {
 	if len(c.acls) == 0 {
 		return errors.New("swarm: client was not connected with Protect")
 	}
-	for _, sc := range c.conns {
-		aid, ok := c.acls[sc.ID()]
+	for _, sc := range c.servers() {
+		aid, ok := c.aclOf(sc.ID())
 		if !ok {
 			continue
 		}
@@ -221,8 +227,8 @@ func (c *Client) RevokeAccess(ids ...ClientID) error {
 	if len(c.acls) == 0 {
 		return errors.New("swarm: client was not connected with Protect")
 	}
-	for _, sc := range c.conns {
-		aid, ok := c.acls[sc.ID()]
+	for _, sc := range c.servers() {
+		aid, ok := c.aclOf(sc.ID())
 		if !ok {
 			continue
 		}
@@ -231,6 +237,21 @@ func (c *Client) RevokeAccess(ids ...ClientID) error {
 		}
 	}
 	return nil
+}
+
+// servers snapshots the connection list (it changes under AddServer and
+// RemoveServer).
+func (c *Client) servers() []transport.ServerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.ServerConn(nil), c.conns...)
+}
+
+func (c *Client) aclOf(id ServerID) (wire.AID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	aid, ok := c.acls[id]
+	return aid, ok
 }
 
 // ID returns the client's identity.
@@ -318,7 +339,7 @@ func (c *Client) RebuildServer(id ServerID) (int, error) {
 // set). Connections without a resilience layer report nothing, so an
 // in-process cluster returns an empty slice.
 func (c *Client) Health() []Health {
-	return transport.HealthOf(c.conns)
+	return transport.HealthOf(c.servers())
 }
 
 // Sync flushes the log.
@@ -332,8 +353,9 @@ func (c *Client) Close() error {
 	if c.cleaner != nil {
 		c.cleaner.Stop()
 	}
+	c.stopDrains()
 	err := c.log.Close()
-	for _, sc := range c.conns {
+	for _, sc := range c.servers() {
 		cerr := sc.Close()
 		if cerr == nil || errors.Is(cerr, transport.ErrUnavailable) {
 			continue

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_*.json)")
@@ -166,6 +166,21 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return nil
 	}
 
+	runRebalance := func() error {
+		r, err := bench.RunRebalanceBench(bench.RebalanceConfig{})
+		if err != nil {
+			return err
+		}
+		bench.PrintRebalanceResult(os.Stdout, r)
+		if jsonOut {
+			if err := bench.WriteRebalanceJSON("BENCH_rebalance.json", r); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_rebalance.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -185,14 +200,16 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return runServercommit()
 	case "erasure":
 		return runErasure()
+	case "rebalance":
+		return runRebalance()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure, runRebalance} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, all)", fig)
 	}
 }

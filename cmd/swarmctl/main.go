@@ -12,6 +12,9 @@
 //	swarmctl -servers ... -client 1 verify         # verify all stripe parity
 //	swarmctl -servers ... -client 1 rebuild <n>    # rebuild replaced server n (1-based)
 //	swarmctl -servers ... -client 1 health         # per-server circuit state and degraded-write counters
+//	swarmctl -servers ... -client 1 join <addr>    # admit a new server to the cluster
+//	swarmctl -servers ... -client 1 drain <n> [remove]  # migrate this client's fragments off server n
+//	swarmctl -servers ... -client 1 status         # placement epoch, member states, rebalance counters
 package main
 
 import (
@@ -35,13 +38,14 @@ func main() {
 		frag    = flag.Int("fragsize", 1<<20, "fragment size (must match the cluster)")
 		parity  = flag.Int("parity", 0, "parity shards per stripe m (0 = cluster default of 1)")
 		codec   = flag.String("codec", "", "erasure codec for new stripes: xor or rs (default: xor for m<=1, rs otherwise)")
+		width   = flag.Int("width", 0, "stripe width including parity (0 = all listed servers; set it narrower to leave room for drains)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild|health ...")
+		fmt.Fprintln(os.Stderr, "usage: swarmctl [flags] ping|stat|put|get|list|verify|rebuild|health|join|drain|status ...")
 		os.Exit(2)
 	}
-	opts := swarm.ClientOptions{FragmentSize: *frag, ParityShards: *parity, Codec: *codec}
+	opts := swarm.ClientOptions{FragmentSize: *frag, ParityShards: *parity, Codec: *codec, Width: *width}
 	if err := run(strings.Split(*servers, ","), wire.ClientID(*client), opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmctl:", err)
 		os.Exit(1)
@@ -244,6 +248,87 @@ func run(addrs []string, client wire.ClientID, opts swarm.ClientOptions, args []
 			return err
 		}
 		fmt.Printf("rebuilt %d fragments on server %d\n", rebuilt, n)
+		return nil
+
+	case "join":
+		if len(args) < 2 {
+			return fmt.Errorf("join needs the new server's address")
+		}
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		id, err := c.AddServer(strings.TrimSpace(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server %d (%s) joined at placement epoch %d\n", id, args[1], c.Placement().Epoch)
+		return nil
+
+	case "drain":
+		if len(args) < 2 {
+			return fmt.Errorf("drain needs a server number (1-based cluster position)")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad server number %q", args[1])
+		}
+		remove := len(args) > 2 && args[2] == "remove"
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := c.DrainServer(wire.ServerID(n)); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- c.WaitRebalance(wire.ServerID(n)) }()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case err := <-done:
+				if err != nil {
+					return err
+				}
+				st, _ := c.RebalanceStats(wire.ServerID(n))
+				fmt.Printf("drained server %d: %d fragments (%d KB) moved, %d reconstructed, %d passes\n",
+					n, st.Moved, st.Bytes>>10, st.Reconstructed, st.Passes)
+				if remove {
+					if err := c.RemoveServer(wire.ServerID(n)); err != nil {
+						return err
+					}
+					fmt.Printf("server %d removed at placement epoch %d\n", n, c.Placement().Epoch)
+				}
+				return nil
+			case <-tick.C:
+				if st, ok := c.RebalanceStats(wire.ServerID(n)); ok {
+					fmt.Printf("  moved %d (%d KB), %d reconstructed, %d skipped\n",
+						st.Moved, st.Bytes>>10, st.Reconstructed, st.Skipped)
+				}
+			}
+		}
+
+	case "status":
+		c, err := swarm.ConnectAddrs(client, addrs, opts)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		p := c.Placement()
+		fmt.Printf("placement epoch %d, %d members:\n", p.Epoch, len(p.Members))
+		for _, m := range p.Members {
+			addr := ""
+			if int(m.ID) <= len(addrs) {
+				addr = " " + strings.TrimSpace(addrs[m.ID-1])
+			}
+			fmt.Printf("  server %d%s: %s\n", m.ID, addr, m.State)
+		}
+		st := c.Log().Stats()
+		fmt.Printf("rebalance: %d fragments (%d KB) migrated this session\n",
+			st.RebalancedFragments, st.RebalancedBytes>>10)
 		return nil
 
 	default:

@@ -37,9 +37,10 @@ const (
 	fragMagic   = 0x4752464c // "LFRG"
 	fragVersion = 1
 	// fragVersion2 adds the erasure codec byte and parity count to the
-	// header (bytes 160 and 161, previously spare). Version-1 headers
-	// imply the paper's single rotating XOR parity, so every pre-RS
-	// stripe remains readable and the XOR configuration still writes
+	// header (bytes 160 and 161, previously spare), and the placement
+	// epoch (bytes 162-165). Version-1 headers imply the paper's single
+	// rotating XOR parity at epoch 0, so every pre-RS stripe remains
+	// readable and the XOR epoch-0 configuration still writes
 	// byte-identical version-1 fragments.
 	fragVersion2 = 2
 
@@ -77,6 +78,13 @@ type Header struct {
 	// classic rotating position, so version-1 headers are exactly the
 	// m=1 case.
 	NumParity uint8
+	// Epoch is the placement-map epoch the stripe was written under
+	// (see internal/placement). In-session readers and the rebalancer
+	// resolve the stripe's servers through the view this epoch names;
+	// a fresh session treats foreign epochs as unknown and falls back
+	// to recorded locations, the Group field, or broadcast discovery.
+	// Version-1 headers are epoch 0 (the construction-time server list).
+	Epoch uint32
 }
 
 // BaseSeq returns the sequence number of the stripe's first fragment.
@@ -134,18 +142,24 @@ func (h *Header) ErasureCode() (erasure.Code, error) {
 }
 
 // EncodeHeader serializes h into a HeaderSize buffer. XOR single-parity
-// headers (including legacy zero-value Codec/NumParity) are emitted as
-// version 1, byte-identical to every fragment written before the erasure
-// layer existed; anything else is version 2.
+// epoch-0 headers (including legacy zero-value Codec/NumParity) are
+// emitted as version 1, byte-identical to every fragment written before
+// the erasure layer existed; anything else is version 2.
 func EncodeHeader(h *Header) []byte {
 	buf := make([]byte, HeaderSize)
 	binary.LittleEndian.PutUint32(buf[0:], fragMagic)
-	if legacyGeometry(h.Codec, h.NumParity) {
+	if legacyGeometry(h.Codec, h.NumParity) && h.Epoch == 0 {
 		buf[4] = fragVersion
 	} else {
 		buf[4] = fragVersion2
-		buf[160] = h.Codec
-		buf[161] = h.NumParity
+		if !legacyGeometry(h.Codec, h.NumParity) {
+			// Legacy XOR m≤1 geometry stays zero bytes even in v2 (a
+			// header promoted only by its epoch); decode normalizes
+			// zeros to XOR m=1 exactly as it does for version 1.
+			buf[160] = h.Codec
+			buf[161] = h.NumParity
+		}
+		binary.LittleEndian.PutUint32(buf[162:], h.Epoch)
 	}
 	buf[5] = h.Kind
 	buf[6] = h.Width
@@ -189,7 +203,13 @@ func DecodeHeader(buf []byte) (Header, error) {
 	if buf[4] == fragVersion2 {
 		h.Codec = buf[160]
 		h.NumParity = buf[161]
-		if h.NumParity == 0 || h.NumParity >= h.Width {
+		h.Epoch = binary.LittleEndian.Uint32(buf[162:])
+		if h.Codec == 0 && h.NumParity == 0 {
+			// A parity-free log promoted to v2 by a nonzero epoch: the
+			// geometry bytes stay zero, normalized exactly as v1 does.
+			h.Codec = uint8(erasure.KindXOR)
+			h.NumParity = 1
+		} else if h.NumParity == 0 || h.NumParity >= h.Width {
 			return h, fmt.Errorf("%w: %d parity shards in width %d", ErrBadFragment, h.NumParity, h.Width)
 		}
 	} else {

@@ -97,6 +97,60 @@ func TestHeaderStripeNavigation(t *testing.T) {
 	}
 }
 
+func TestHeaderEpochRoundTrip(t *testing.T) {
+	h := Header{
+		Kind:     FragData,
+		Width:    4,
+		Index:    1,
+		FID:      wire.MakeFID(3, 9),
+		StripeID: 2,
+		DataLen:  100,
+	}
+	// Epoch 0 with legacy geometry stays a version-1 header,
+	// byte-identical to the pre-elasticity format.
+	if buf := EncodeHeader(&h); buf[4] != fragVersion {
+		t.Fatalf("epoch-0 legacy header encoded as version %d", buf[4])
+	}
+
+	// A nonzero epoch promotes even the legacy XOR geometry to v2 and
+	// round-trips exactly.
+	h.Epoch = 5
+	buf := EncodeHeader(&h)
+	if buf[4] != fragVersion2 {
+		t.Fatalf("epoch-5 header encoded as version %d", buf[4])
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Codec, h.NumParity = uint8(erasure.KindXOR), 1
+	if got != h {
+		t.Fatalf("epoch roundtrip:\n got %+v\nwant %+v", got, h)
+	}
+
+	// A parity-free log at a nonzero epoch leaves the geometry bytes
+	// zero; decode normalizes them exactly like a version-1 header.
+	pf := Header{Kind: FragData, Width: 1, Index: 0, FID: wire.MakeFID(3, 0), Epoch: 3}
+	got, err = DecodeHeader(EncodeHeader(&pf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Codec != uint8(erasure.KindXOR) || got.NumParity != 1 {
+		t.Fatalf("parity-free v2 decode = %+v", got)
+	}
+
+	// RS geometry and epoch coexist.
+	rs := Header{Kind: FragParity, Width: 6, Index: 2, FID: wire.MakeFID(1, 14),
+		StripeID: 2, Codec: uint8(erasure.KindRS), NumParity: 2, Epoch: 9}
+	got, err = DecodeHeader(EncodeHeader(&rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rs {
+		t.Fatalf("rs epoch roundtrip:\n got %+v\nwant %+v", got, rs)
+	}
+}
+
 func TestQuickHeaderRoundTrip(t *testing.T) {
 	f := func(kindParity bool, width, index uint8, fid, stripe uint64, dataLen uint32) bool {
 		w := width%MaxWidth + 1
@@ -118,6 +172,9 @@ func TestQuickHeaderRoundTrip(t *testing.T) {
 		if w >= 3 && dataLen%2 == 1 {
 			h.Codec = uint8(erasure.KindRS)
 			h.NumParity = uint8(dataLen%uint32(w-1)) + 1
+		}
+		if dataLen%3 == 0 {
+			h.Epoch = dataLen / 3 // exercises v2 promotion of XOR m=1
 		}
 		for i := 0; i < int(w); i++ {
 			h.Group[i] = wire.ServerID(i * 3)

@@ -11,6 +11,7 @@ import (
 	"swarm/internal/erasure"
 	"swarm/internal/fragio"
 	"swarm/internal/model"
+	"swarm/internal/placement"
 	"swarm/internal/transport"
 	"swarm/internal/wire"
 )
@@ -121,8 +122,7 @@ type sealedFrag struct {
 type Log struct {
 	cfg         Config
 	client      wire.ClientID
-	servers     []transport.ServerConn
-	byServer    map[wire.ServerID]transport.ServerConn
+	place       *placement.Map // versioned server membership; owns all conn lookup
 	width       int
 	parity      bool
 	nparity     int          // parity shards per stripe (0 when parity is off)
@@ -143,7 +143,15 @@ type Log struct {
 	pendingDel map[wire.FID]wire.ServerID // reclaim deletes deferred: server unreachable when its stripe died; guarded by mu
 	prealloced map[uint64]bool            // stripes whose slots have been reserved; guarded by mu
 	needPre    []uint64                   // stripes awaiting preallocation; guarded by mu
-	usage      *UsageTable
+	// stripeEpochs pins each live stripe written this session to the
+	// placement epoch it opened under; membership changes close the open
+	// stripe first, so a stripe is wholly placed under one view. Entries
+	// die with their stripe (ReclaimStripe). Guarded by mu.
+	stripeEpochs map[uint64]uint32
+	// acls is the per-server fragment protection, mutable because
+	// AddServer admits new servers with their own AIDs. Guarded by mu.
+	acls  map[wire.ServerID]wire.AID
+	usage *UsageTable
 	recon      *fragCache
 	readahead  bool
 
@@ -189,6 +197,19 @@ type LogStats struct {
 	// means some stripe is one failure from losing data. Computed at
 	// snapshot time, not a counter.
 	MinSpareRedundancy int64
+	// PlacementEpoch is the head placement-map epoch (how many
+	// membership changes this session has published). Snapshot, not a
+	// counter.
+	PlacementEpoch int64
+	// ServersActive and ServersDraining describe the head placement
+	// view. Snapshots, not counters.
+	ServersActive   int64
+	ServersDraining int64
+	// RebalancedFragments and RebalancedBytes count fragments the
+	// background rebalancer has migrated off draining servers (verified
+	// at their new home before the source copy was deleted).
+	RebalancedFragments int64
+	RebalancedBytes     int64
 }
 
 // Open opens (or recovers) a client's log and returns the recovery
@@ -241,36 +262,38 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 			return nil, nil, fmt.Errorf("%w: %v", ErrConfig, cerr)
 		}
 	}
+	place, perr := placement.New(cfg.Servers)
+	if perr != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrConfig, perr)
+	}
 	l := &Log{
-		cfg:         cfg,
-		client:      cfg.Client,
-		servers:     cfg.Servers,
-		byServer:    make(map[wire.ServerID]transport.ServerConn, len(cfg.Servers)),
-		width:       cfg.Width,
-		parity:      parity,
-		codec:       code,
-		fragSize:    cfg.FragmentSize,
-		payloadSize: cfg.FragmentSize - HeaderSize,
-		ckpts:       make(map[ServiceID]BlockAddr),
-		registered:  make(map[ServiceID]bool),
-		locations:   make(map[wire.FID]wire.ServerID),
-		inflight:    make(map[wire.FID][]byte),
-		degraded:    make(map[uint64]map[wire.FID]wire.ServerID),
-		pendingDel:  make(map[wire.FID]wire.ServerID),
-		prealloced:  make(map[uint64]bool),
-		usage:       NewUsageTable(),
-		recon:       newFragCache(max(8, cfg.ReadaheadFragments)),
-		readahead:   cfg.ReadaheadFragments > 0,
+		cfg:          cfg,
+		client:       cfg.Client,
+		place:        place,
+		width:        cfg.Width,
+		parity:       parity,
+		codec:        code,
+		fragSize:     cfg.FragmentSize,
+		payloadSize:  cfg.FragmentSize - HeaderSize,
+		ckpts:        make(map[ServiceID]BlockAddr),
+		registered:   make(map[ServiceID]bool),
+		locations:    make(map[wire.FID]wire.ServerID),
+		inflight:     make(map[wire.FID][]byte),
+		degraded:     make(map[uint64]map[wire.FID]wire.ServerID),
+		pendingDel:   make(map[wire.FID]wire.ServerID),
+		prealloced:   make(map[uint64]bool),
+		stripeEpochs: make(map[uint64]uint32),
+		acls:         make(map[wire.ServerID]wire.AID, len(cfg.ACLs)),
+		usage:        NewUsageTable(),
+		recon:        newFragCache(max(8, cfg.ReadaheadFragments)),
+		readahead:    cfg.ReadaheadFragments > 0,
+	}
+	for id, aid := range cfg.ACLs {
+		l.acls[id] = aid
 	}
 	if parity {
 		l.nparity = cfg.ParityShards
 		l.pacc = newParityAccum(code, l.payloadSize)
-	}
-	for _, sc := range cfg.Servers {
-		if _, dup := l.byServer[sc.ID()]; dup {
-			return nil, nil, fmt.Errorf("%w: duplicate server id %d", ErrConfig, sc.ID())
-		}
-		l.byServer[sc.ID()] = sc
 	}
 	l.engine = fragio.New(cfg.Servers, fragio.Options{
 		Format:      frameFormat{},
@@ -323,11 +346,13 @@ func (l *Log) ParityEnabled() bool { return l.parity }
 // Usage returns the log's stripe usage table.
 func (l *Log) Usage() *UsageTable { return l.usage }
 
-// Servers returns the log's server connections.
-func (l *Log) Servers() []transport.ServerConn { return l.servers }
+// Servers returns the log's current server connections (active and
+// draining members of the head placement view).
+func (l *Log) Servers() []transport.ServerConn { return l.place.Conns() }
 
 // Stats returns a snapshot of activity counters.
 func (l *Log) Stats() LogStats {
+	head := l.place.Head()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	s := l.stats
@@ -337,6 +362,9 @@ func (l *Log) Stats() LogStats {
 			s.MinSpareRedundancy = spare
 		}
 	}
+	s.PlacementEpoch = int64(head.Epoch)
+	s.ServersActive = int64(head.NumActive())
+	s.ServersDraining = int64(len(head.Members) - head.NumActive())
 	return s
 }
 
@@ -409,17 +437,36 @@ func (l *Log) dataOrdinal(stripe uint64, idx int) int {
 	return n
 }
 
-// serverFor returns the connection storing member index of stripe.
-// Placement rotates with the stripe number so both data and parity load
-// spread over all servers.
-func (l *Log) serverFor(stripe uint64, index int) transport.ServerConn {
-	s := len(l.servers)
-	return l.servers[int((stripe+uint64(index))%uint64(s))]
+// epochOfLocked returns the placement epoch stripe was (or will be)
+// written under: the epoch pinned when the stripe opened this session,
+// else the head epoch. Callers hold mu.
+func (l *Log) epochOfLocked(stripe uint64) uint32 {
+	if epoch, ok := l.stripeEpochs[stripe]; ok {
+		return epoch
+	}
+	return l.place.Epoch()
 }
 
+// connAtLocked resolves the server expected to hold member slot of
+// stripe through the placement map, under the stripe's own epoch.
+// Resolution falls forward to the head view when the assigned server
+// has been removed (its fragments were migrated first). Callers hold mu.
+func (l *Log) connAtLocked(stripe uint64, slot int) transport.ServerConn {
+	return l.place.Resolve(l.epochOfLocked(stripe), stripe, slot)
+}
+
+// connAt is connAtLocked for callers not holding mu.
+func (l *Log) connAt(stripe uint64, slot int) transport.ServerConn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.connAtLocked(stripe, slot)
+}
+
+// fillGroup records the stripe's member placement in a header being
+// sealed. Callers hold mu.
 func (l *Log) fillGroup(h *Header) {
 	for i := 0; i < l.width; i++ {
-		h.Group[i] = l.serverFor(h.StripeID, i).ID()
+		h.Group[i] = l.connAtLocked(h.StripeID, i).ID()
 	}
 }
 
@@ -546,6 +593,12 @@ func (l *Log) openFragmentLocked() {
 	l.seq = l.nextDataSeq(l.seq)
 	fid := wire.MakeFID(l.client, l.seq)
 	stripe := l.stripeOf(l.seq)
+	if _, ok := l.stripeEpochs[stripe]; !ok {
+		// Pin the stripe to the head epoch. Membership changes close the
+		// open stripe before publishing a new view, so the pin covers
+		// every member the stripe will ever seal.
+		l.stripeEpochs[stripe] = l.place.Epoch()
+	}
 	l.cur = &fragBuilder{
 		fid:     fid,
 		stripe:  stripe,
@@ -593,7 +646,7 @@ func (l *Log) makeSealedLocked(fb *fragBuilder, mark bool) sealedFrag {
 	frame := make([]byte, HeaderSize+dataLen)
 	copy(frame, EncodeHeader(&h))
 	copy(frame[HeaderSize:], fb.payload[:dataLen])
-	conn := l.serverFor(fb.stripe, int(fb.index))
+	conn := l.connAtLocked(fb.stripe, int(fb.index))
 	if l.parity {
 		l.pacc.add(l.dataOrdinal(fb.stripe, int(fb.index)), int(fb.index), fb.payload[:dataLen])
 		l.usage.FragmentSealed(fb.stripe, false)
@@ -605,10 +658,12 @@ func (l *Log) makeSealedLocked(fb *fragBuilder, mark bool) sealedFrag {
 	return sealedFrag{conn: conn, fid: fb.fid, frame: frame, mark: mark, payload: fb.payload[:dataLen]}
 }
 
-// stampGeometry writes the log's erasure configuration into a header.
-// The XOR m=1 configuration round-trips through a version-1 header,
-// byte-identical to the pre-erasure format.
+// stampGeometry writes the log's erasure configuration and the stripe's
+// placement epoch into a header. The XOR m=1 epoch-0 configuration
+// round-trips through a version-1 header, byte-identical to the
+// pre-erasure format. Callers hold mu.
 func (l *Log) stampGeometry(h *Header) {
+	h.Epoch = l.epochOfLocked(h.StripeID)
 	if !l.parity {
 		return
 	}
@@ -656,7 +711,7 @@ func (l *Log) sealParityLocked(stripe uint64) []sealedFrag {
 		frame := make([]byte, HeaderSize+int(maxLen))
 		copy(frame, EncodeHeader(&h))
 		copy(frame[HeaderSize:], l.pacc.bufs[j][:maxLen])
-		conn := l.serverFor(stripe, pIdx)
+		conn := l.connAtLocked(stripe, pIdx)
 		l.locations[fid] = conn.ID()
 		l.stats.ParityFragments++
 		l.stats.BytesStored += int64(len(frame))
@@ -711,10 +766,7 @@ func (l *Log) ship(frags []sealedFrag) {
 			l.cfg.CPU.Process(len(f.frame))
 			l.cfg.CPU.Compute(l.cfg.FragOverhead)
 		}
-		var ranges []wire.ACLRange
-		if aid, ok := l.cfg.ACLs[f.conn.ID()]; ok {
-			ranges = []wire.ACLRange{{Off: 0, Len: uint32(len(f.frame)), AID: aid}}
-		}
+		ranges := l.rangesFor(f.conn, len(f.frame))
 		l.engine.StoreAsync(f.conn, f.fid, f.frame, f.mark, ranges, func(err error) {
 			if err != nil {
 				if l.noteDegraded(f.fid, f.conn.ID(), err) {
@@ -815,7 +867,7 @@ func (l *Log) drainPreallocs() {
 		base := stripe * uint64(l.width)
 		for i := 0; i < l.width; i++ {
 			fid := wire.MakeFID(l.client, base+uint64(i))
-			conn := l.serverFor(stripe, i)
+			conn := l.connAt(stripe, i)
 			err := conn.Prealloc(fid)
 			if err == nil || wire.IsStatus(err, wire.StatusExists) {
 				continue
@@ -980,7 +1032,7 @@ func (l *Log) ReclaimStripe(stripe uint64) error {
 
 	var firstErr error
 	for i, fid := range fids {
-		conn := l.serverFor(stripe, i)
+		conn := l.connAt(stripe, i)
 		err := conn.Delete(fid)
 		if err != nil && !wire.IsStatus(err, wire.StatusNotFound) {
 			// Try the recorded location before giving up (placement may
@@ -1011,6 +1063,9 @@ func (l *Log) ReclaimStripe(stripe uint64) error {
 		l.mu.Unlock()
 		l.recon.drop(fid)
 	}
+	l.mu.Lock()
+	delete(l.stripeEpochs, stripe) // the stripe no longer exists anywhere
+	l.mu.Unlock()
 	if firstErr != nil {
 		return firstErr
 	}
@@ -1031,8 +1086,13 @@ func (l *Log) FlushDeletes() int {
 	}
 	l.mu.Unlock()
 	for fid, id := range pending {
-		conn, ok := l.byServer[id]
-		if !ok {
+		conn := l.place.Conn(id)
+		if conn == nil {
+			// The server was removed from the cluster; the orphan died
+			// with it.
+			l.mu.Lock()
+			delete(l.pendingDel, fid)
+			l.mu.Unlock()
 			continue
 		}
 		err := conn.Delete(fid)
@@ -1054,7 +1114,9 @@ func (l *Log) lookupConn(fid wire.FID) transport.ServerConn {
 	if !ok {
 		return nil
 	}
-	return l.byServer[id]
+	// A recorded location on a removed server resolves to nil; callers
+	// treat that as a miss and fall back to placement or discovery.
+	return l.place.Conn(id)
 }
 
 // Close syncs and shuts the log down.

@@ -149,7 +149,7 @@ func TestStripeGeometry(t *testing.T) {
 	// Members of one stripe land on distinct servers.
 	seen := map[wire.ServerID]bool{}
 	for i := 0; i < l.width; i++ {
-		id := l.serverFor(3, i).ID()
+		id := l.connAt(3, i).ID()
 		if seen[id] {
 			t.Fatalf("server %d repeated within stripe", id)
 		}
@@ -169,11 +169,11 @@ func TestFragmentsLandOnRotatedServers(t *testing.T) {
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	// Every sealed fragment must live exactly where serverFor says.
+	// Every sealed fragment must live exactly where placement says.
 	for fid, sid := range l.locations {
 		stripe := l.stripeOf(fid.Seq())
 		idx := int(fid.Seq() % uint64(l.width))
-		if want := l.serverFor(stripe, idx).ID(); want != sid {
+		if want := l.connAt(stripe, idx).ID(); want != sid {
 			t.Fatalf("fragment %v on server %d, want %d", fid, sid, want)
 		}
 		// And actually be there.
@@ -556,7 +556,7 @@ func TestReclaimStripe(t *testing.T) {
 	base := victim * uint64(l.width)
 	for i := 0; i < l.width; i++ {
 		fid := wire.MakeFID(testClient, base+uint64(i))
-		if found := transport.Broadcast(l.servers, fid); len(found) != 0 {
+		if found := transport.Broadcast(l.Servers(), fid); len(found) != 0 {
 			t.Fatalf("fragment %v survives on %d servers", fid, len(found))
 		}
 	}
@@ -611,7 +611,7 @@ func TestReclaimStripeDefersDeletesOnDeadServer(t *testing.T) {
 	base := victim * uint64(l.width)
 	for i := 0; i < l.width; i++ {
 		fid := wire.MakeFID(testClient, base+uint64(i))
-		if found := transport.Broadcast(l.servers, fid); len(found) != 0 {
+		if found := transport.Broadcast(l.Servers(), fid); len(found) != 0 {
 			t.Fatalf("fragment %v survives on %d servers", fid, len(found))
 		}
 	}

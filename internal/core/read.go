@@ -456,7 +456,7 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 			Kind: FragParity, Width: uint8(width), Index: uint8(missIdx),
 			FID: fid, StripeID: sib.StripeID, DataLen: maxLen,
 			Group: sib.Group, MemberLens: lens,
-			Codec: sib.Codec, NumParity: sib.NumParity,
+			Codec: sib.Codec, NumParity: sib.NumParity, Epoch: sib.Epoch,
 			PayloadCRC: crc32.ChecksumIEEE(full[:maxLen]),
 		}
 		l.bumpReconStat()
@@ -474,7 +474,7 @@ func (l *Log) reconstructFragment(fid wire.FID) (Header, []byte, error) {
 		Kind: FragData, Width: uint8(width), Index: uint8(missIdx),
 		FID: fid, StripeID: sib.StripeID, DataLen: missingLen,
 		Group: sib.Group,
-		Codec: sib.Codec, NumParity: sib.NumParity,
+		Codec: sib.Codec, NumParity: sib.NumParity, Epoch: sib.Epoch,
 		PayloadCRC: crc32.ChecksumIEEE(full[:missingLen]),
 	}
 	l.bumpReconStat()

@@ -17,8 +17,8 @@ import (
 // learns it is being rebuilt. Each client rebuilds its own fragments;
 // run this once per client after swapping hardware.
 func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
-	conn, ok := l.byServer[id]
-	if !ok {
+	conn := l.place.Conn(id)
+	if conn == nil {
 		return 0, fmt.Errorf("%w: server %d not in configuration", ErrConfig, id)
 	}
 	// Clear out deletions deferred while servers were unreachable: their
@@ -47,7 +47,7 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 	// (degraded writes): those exist logically and are reconstructable
 	// from their stripe's parity.
 	known := make(map[uint64]bool)
-	for _, sc := range l.servers {
+	for _, sc := range l.place.Conns() {
 		all, err := sc.List(l.client)
 		if err != nil {
 			continue
@@ -69,7 +69,10 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 	rebuilt := 0
 	for stripe := range l.stripesOf(known) {
 		for idx := 0; idx < l.width; idx++ {
-			if l.serverFor(stripe, idx).ID() != id {
+			// A fragment belongs here if its stripe's placement assigns
+			// the slot to this server — under the stripe's own epoch for
+			// stripes written this session, the head view otherwise.
+			if l.connAt(stripe, idx).ID() != id {
 				continue
 			}
 			fid := wire.MakeFID(l.client, stripe*uint64(l.width)+uint64(idx))
@@ -110,7 +113,10 @@ func (l *Log) RebuildServer(id wire.ServerID) (int, error) {
 // rangesFor returns the ACL ranges to apply when storing a whole frame to
 // conn, mirroring the write path's protection.
 func (l *Log) rangesFor(conn transport.ServerConn, frameLen int) []wire.ACLRange {
-	if aid, ok := l.cfg.ACLs[conn.ID()]; ok {
+	l.mu.Lock()
+	aid, ok := l.acls[conn.ID()]
+	l.mu.Unlock()
+	if ok {
 		return []wire.ACLRange{{Off: 0, Len: uint32(frameLen), AID: aid}}
 	}
 	return nil

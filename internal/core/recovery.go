@@ -68,7 +68,7 @@ func (l *Log) recover() (*Recovery, error) {
 	// 1. Enumerate fragments.
 	var reachable int
 	fidSet := make(map[uint64]bool)
-	for _, sc := range l.servers {
+	for _, sc := range l.place.Conns() {
 		fids, err := sc.List(l.client)
 		if err != nil {
 			continue
@@ -101,7 +101,7 @@ func (l *Log) recover() (*Recovery, error) {
 		lastMarked wire.FID
 		haveMarked bool
 	)
-	for _, sc := range l.servers {
+	for _, sc := range l.place.Conns() {
 		fid, found, err := sc.LastMarked(l.client)
 		if err != nil || !found {
 			continue

@@ -360,10 +360,10 @@ func TestRecoverySurvivesTornTailFragment(t *testing.T) {
 	if !found {
 		t.Fatal("no data fragment found")
 	}
-	if err := l.byServer[l.locations[dataFID]].Delete(dataFID); err != nil {
+	if err := l.place.Conn(l.locations[dataFID]).Delete(dataFID); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.byServer[l.locations[parityFID]].Delete(parityFID); err != nil {
+	if err := l.place.Conn(l.locations[parityFID]).Delete(parityFID); err != nil {
 		t.Fatal(err)
 	}
 

@@ -113,23 +113,29 @@ type Stats struct {
 }
 
 // Engine is the fragment I/O engine for one client over one cluster.
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use, including the membership
+// mutations AddServer/RemoveServer: the server set is read under the
+// engine mutex, while blocking work (semaphore waits, I/O) always
+// happens outside it, so an in-flight gather racing a removal completes
+// against the channels it captured.
 type Engine struct {
-	servers []transport.ServerConn
-	byID    map[wire.ServerID]transport.ServerConn
-	format  Format
-
-	storeSems map[wire.ServerID]chan struct{}
-	fetchSems map[wire.ServerID]chan struct{}
-	opSems    map[wire.ServerID]chan struct{} // optional combined cap
+	format     Format
+	storeDepth int
+	fetchDepth int
+	opDepth    int // 0 = no combined cap
 
 	flights singleflight // reconstruction and other per-FID work
 	locates singleflight // broadcast discovery
 
-	mu       sync.Mutex
-	inflight int // dispatched async stores not yet complete; guarded by mu
-	cond     *sync.Cond
-	stats    Stats // guarded by mu
+	mu        sync.Mutex
+	servers   []transport.ServerConn                 // guarded by mu
+	byID      map[wire.ServerID]transport.ServerConn // guarded by mu
+	storeSems map[wire.ServerID]chan struct{}        // guarded by mu
+	fetchSems map[wire.ServerID]chan struct{}        // guarded by mu
+	opSems    map[wire.ServerID]chan struct{}        // guarded by mu; nil when opDepth == 0
+	inflight  int                                    // dispatched async stores not yet complete; guarded by mu
+	cond      *sync.Cond
+	stats     Stats // guarded by mu
 }
 
 // New builds an engine over the cluster's connections.
@@ -141,11 +147,13 @@ func New(servers []transport.ServerConn, opts Options) *Engine {
 		opts.FetchDepth = 4
 	}
 	e := &Engine{
-		servers:   servers,
-		byID:      make(map[wire.ServerID]transport.ServerConn, len(servers)),
-		format:    opts.Format,
-		storeSems: make(map[wire.ServerID]chan struct{}, len(servers)),
-		fetchSems: make(map[wire.ServerID]chan struct{}, len(servers)),
+		format:     opts.Format,
+		storeDepth: opts.StoreDepth,
+		fetchDepth: opts.FetchDepth,
+		opDepth:    opts.MaxInFlight,
+		byID:       make(map[wire.ServerID]transport.ServerConn, len(servers)),
+		storeSems:  make(map[wire.ServerID]chan struct{}, len(servers)),
+		fetchSems:  make(map[wire.ServerID]chan struct{}, len(servers)),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.flights.init()
@@ -154,14 +162,60 @@ func New(servers []transport.ServerConn, opts Options) *Engine {
 		e.opSems = make(map[wire.ServerID]chan struct{}, len(servers))
 	}
 	for _, sc := range servers {
-		e.byID[sc.ID()] = sc
-		e.storeSems[sc.ID()] = make(chan struct{}, opts.StoreDepth)
-		e.fetchSems[sc.ID()] = make(chan struct{}, opts.FetchDepth)
-		if e.opSems != nil {
-			e.opSems[sc.ID()] = make(chan struct{}, opts.MaxInFlight)
-		}
+		e.servers = append(e.servers, sc)
+		e.addLocked(sc)
 	}
 	return e
+}
+
+// addLocked installs sc's lookup entry and semaphores.
+func (e *Engine) addLocked(sc transport.ServerConn) {
+	id := sc.ID()
+	e.byID[id] = sc
+	e.storeSems[id] = make(chan struct{}, e.storeDepth)
+	e.fetchSems[id] = make(chan struct{}, e.fetchDepth)
+	if e.opSems != nil {
+		e.opSems[id] = make(chan struct{}, e.opDepth)
+	}
+}
+
+// AddServer admits a new server to the engine: it becomes a valid
+// store/fetch target with fresh bounded queues and joins the broadcast
+// set. Adding an ID that is already present is an error.
+func (e *Engine) AddServer(sc transport.ServerConn) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.byID[sc.ID()]; dup {
+		return fmt.Errorf("fragio: server %d already in engine", sc.ID()) // swarmlint:classified (configuration error, not an RPC outcome)
+	}
+	e.servers = append(append([]transport.ServerConn(nil), e.servers...), sc)
+	e.addLocked(sc)
+	return nil
+}
+
+// RemoveServer drops a server from the engine. Operations already in
+// flight against it run to completion on the channels they captured;
+// new fetches naming the ID miss the lookup and fall back to broadcast
+// discovery over the remaining servers. Unknown IDs are a no-op.
+func (e *Engine) RemoveServer(id wire.ServerID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.byID[id]; !ok {
+		return
+	}
+	next := make([]transport.ServerConn, 0, len(e.servers)-1)
+	for _, sc := range e.servers {
+		if sc.ID() != id {
+			next = append(next, sc)
+		}
+	}
+	e.servers = next
+	delete(e.byID, id)
+	delete(e.storeSems, id)
+	delete(e.fetchSems, id)
+	if e.opSems != nil {
+		delete(e.opSems, id)
+	}
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -172,12 +226,20 @@ func (e *Engine) Stats() Stats {
 }
 
 // Conn returns the connection for a server ID, or nil if the server is
-// not in the configuration.
-func (e *Engine) Conn(id wire.ServerID) transport.ServerConn { return e.byID[id] }
+// not (or no longer) in the configuration.
+func (e *Engine) Conn(id wire.ServerID) transport.ServerConn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.byID[id]
+}
 
 func (e *Engine) acquireFetch(id wire.ServerID) func() {
+	e.mu.Lock()
 	sem, ok := e.fetchSems[id]
+	e.mu.Unlock()
 	if !ok {
+		// Unknown or just-removed server: no queue to respect. The fetch
+		// itself will fail or succeed on the connection's own terms.
 		return func() {}
 	}
 	sem <- struct{}{}
@@ -190,7 +252,9 @@ func (e *Engine) acquireFetch(id wire.ServerID) func() {
 // depth semaphore — one consistent order, so the two levels cannot
 // deadlock against each other.
 func (e *Engine) acquireOp(id wire.ServerID) func() {
+	e.mu.Lock()
 	sem, ok := e.opSems[id]
+	e.mu.Unlock()
 	if !ok {
 		return func() {}
 	}
@@ -354,7 +418,7 @@ func (e *Engine) GatherK(members []Member, k int) []Result {
 // broadcast discovery as the fallback.
 func (e *Engine) fetchMember(m Member) Result {
 	res := Result{Member: m}
-	if conn := e.byID[m.Server]; conn != nil {
+	if conn := e.Conn(m.Server); conn != nil {
 		res.Decoded, res.Payload, res.Err = e.Fetch(conn, m.FID)
 		if res.Err == nil {
 			res.From = m.Server
@@ -381,12 +445,15 @@ func (e *Engine) fetchMember(m Member) Result {
 // joined an in-flight discovery rather than performing its own.
 func (e *Engine) Locate(fid wire.FID) (conn transport.ServerConn, shared bool, err error) {
 	v, shared, err := e.locates.do(fid, func() (any, error) {
-		e.bump(func(s *Stats) { s.Broadcasts++ })
-		found := transport.Broadcast(e.servers, fid)
+		e.mu.Lock()
+		servers := append([]transport.ServerConn(nil), e.servers...)
+		e.stats.Broadcasts++
+		e.mu.Unlock()
+		found := transport.Broadcast(servers, fid)
 		if len(found) == 0 {
 			return nil, fmt.Errorf("%w: %v", ErrNotFound, fid)
 		}
-		return found[0], nil
+		return found[0], nil // swarmlint:placement-ok (any holder serves a broadcast discovery; no slot is being resolved)
 	})
 	if shared {
 		e.bump(func(s *Stats) { s.SharedLocates++ })
@@ -454,8 +521,12 @@ func (e *Engine) Store(conn transport.ServerConn, fid wire.FID, frame []byte, ma
 // counted complete, so a Wait that returns has observed every done
 // callback's effects.
 func (e *Engine) StoreAsync(conn transport.ServerConn, fid wire.FID, frame []byte, mark bool, ranges []wire.ACLRange, done func(error)) {
+	e.mu.Lock()
 	sem := e.storeSems[conn.ID()]
-	sem <- struct{}{}
+	e.mu.Unlock()
+	if sem != nil {
+		sem <- struct{}{}
+	}
 	releaseOp := e.acquireOp(conn.ID())
 	e.mu.Lock()
 	e.inflight++
@@ -464,7 +535,9 @@ func (e *Engine) StoreAsync(conn transport.ServerConn, fid wire.FID, frame []byt
 		err := e.Store(conn, fid, frame, mark, ranges)
 		done(err)
 		releaseOp()
-		<-sem
+		if sem != nil {
+			<-sem
+		}
 		e.mu.Lock()
 		e.inflight--
 		e.cond.Broadcast()

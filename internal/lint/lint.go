@@ -137,14 +137,25 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 // Default returns the full analyzer suite with the repository's
 // configuration: the wire buffer pool's package path, the disk layer
 // exempted from lockio (it is the I/O layer the invariant protects
-// callers of), and the error-classification boundary around the
-// transport and fragment-I/O packages.
+// callers of), the error-classification boundary around the transport
+// and fragment-I/O packages, and the placement-indexing invariant over
+// the packages that resolve server placement at runtime (harnesses and
+// CLIs build their connection slices before a log exists, so they are
+// out of scope).
 func Default() []Analyzer {
 	return []Analyzer{
 		NewBufPool("swarm/internal/wire"),
 		NewLockIO("swarm/internal/disk", []string{"swarm/internal/disk"}),
 		NewGuardedBy(),
 		NewErrClass([]string{"swarm/internal/transport", "swarm/internal/fragio"}),
+		NewPlacement([]string{
+			"swarm",
+			"swarm/internal/core",
+			"swarm/internal/fragio",
+			"swarm/internal/rebalance",
+			"swarm/internal/cleaner",
+			"swarm/internal/service",
+		}),
 	}
 }
 

@@ -114,6 +114,26 @@ func TestErrClassFixture(t *testing.T) {
 	checkFixture(t, "errclass", NewErrClass([]string{"fixture/errclass"}))
 }
 
+func TestPlacementFixture(t *testing.T) {
+	checkFixture(t, "placement", NewPlacement([]string{"fixture/placement"}))
+}
+
+// TestPlacementSkipsUnlistedPackages pins the boundary: the same
+// fixture body produces nothing when its package is not in the checked
+// set (harness/CLI construction code stays free to index its own
+// slices).
+func TestPlacementSkipsUnlistedPackages(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.CheckDir("fixture/placement", filepath.Join("testdata", "src", "placement"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Analyzer{NewPlacement([]string{"swarm/internal/core"})})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside checked packages, got %d: %v", len(diags), diags)
+	}
+}
+
 // TestErrClassSkipsUnlistedPackages pins the boundary: the same fixture
 // body produces nothing when its package is not in the classified set.
 func TestErrClassSkipsUnlistedPackages(t *testing.T) {

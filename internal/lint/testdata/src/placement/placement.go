@@ -1,0 +1,59 @@
+// Package placement is a swarmlint test fixture: each function
+// exercises one placement-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package placement
+
+import (
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// conns is the fixture's server slice.
+type pool struct {
+	conns []transport.ServerConn
+}
+
+// namedSlice is a defined type over the connection slice; the analyzer
+// sees through the name.
+type namedSlice []transport.ServerConn
+
+func directIndex(conns []transport.ServerConn, stripe, slot int) transport.ServerConn {
+	return conns[(stripe+slot)%len(conns)] // want "placement is epoch-dependent"
+}
+
+func fieldIndex(p *pool, i int) transport.ServerConn {
+	return p.conns[i] // want "placement is epoch-dependent"
+}
+
+func namedIndex(ns namedSlice, i int) transport.ServerConn {
+	return ns[i] // want "placement is epoch-dependent"
+}
+
+func assignIndex(conns []transport.ServerConn, sc transport.ServerConn) {
+	conns[0] = sc // want "placement is epoch-dependent"
+}
+
+func annotated(conns []transport.ServerConn) transport.ServerConn {
+	return conns[0] // swarmlint:placement-ok (arbitrary probe connection, not a placement decision)
+}
+
+func ranging(conns []transport.ServerConn, fid wire.FID) int {
+	// Enumeration names no slot; it is how broadcasts and surveys work.
+	n := 0
+	for _, sc := range conns {
+		if _, ok, err := sc.Has(fid); err == nil && ok {
+			n++
+		}
+	}
+	return n
+}
+
+func otherSlices(ids []wire.ServerID, i int) wire.ServerID {
+	// Indexing non-connection slices is out of scope.
+	return ids[i]
+}
+
+func slicing(conns []transport.ServerConn, i int) []transport.ServerConn {
+	// Slicing (compaction, snapshots) is not slot resolution.
+	return append(conns[:i:i], conns[i+1:]...)
+}

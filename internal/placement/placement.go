@@ -1,0 +1,312 @@
+// Package placement is the versioned placement map: the one place that
+// knows which storage servers exist and where a stripe member lives.
+//
+// Membership changes (join, drain, remove) never edit a server list in
+// place. Each change publishes a new immutable View stamped with a
+// monotonically increasing epoch; old views stay resolvable, so stripes
+// written under an earlier epoch keep reading from the servers that
+// placement assigned them at write time. New stripes always place under
+// the head epoch. This is the same discipline the fragment format uses
+// for erasure geometry (headers say how a stripe was written; the
+// client's current configuration never reinterprets old data), extended
+// from codec parameters to cluster shape.
+//
+// The map is session state, not log state: epoch 0 is the server list
+// the client was constructed with, and epochs advance as this session's
+// membership operations land. Fragment headers stamp the writing
+// epoch so in-session readers and the rebalancer can resolve a stripe
+// under the exact view that placed it; across sessions, recovery
+// re-learns fragment locations by listing the servers and headers'
+// Group field plus broadcast discovery cover anything that moved.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// Errors returned by membership operations.
+var (
+	// ErrUnknownServer is returned when an operation names a server that
+	// is not in the map.
+	ErrUnknownServer = errors.New("placement: unknown server")
+	// ErrNotDraining is returned by Remove for a server that was never
+	// drained: removing an active server would silently abandon its
+	// fragments.
+	ErrNotDraining = errors.New("placement: server not draining")
+	// ErrBelowWidth is returned when a drain would leave fewer active
+	// servers than the stripe width needs for member-disjoint placement.
+	ErrBelowWidth = errors.New("placement: drain would leave fewer active servers than stripe width")
+)
+
+// State is a member's lifecycle state within a view.
+type State uint8
+
+const (
+	// Active members receive new stripe placements.
+	Active State = iota
+	// Draining members are excluded from new placements but still serve
+	// reads while the rebalancer migrates their fragments away.
+	Draining
+)
+
+// String returns the state's operator-facing name.
+func (s State) String() string {
+	if s == Draining {
+		return "draining"
+	}
+	return "active"
+}
+
+// Member is one server's entry in a view.
+type Member struct {
+	ID    wire.ServerID
+	State State
+}
+
+// View is one immutable epoch of the placement map.
+type View struct {
+	// Epoch identifies this view; stamped into fragment headers written
+	// under it.
+	Epoch uint32
+	// Members lists every server in the view, in join order, with its
+	// state. The slice is shared — callers must not mutate it.
+	Members []Member
+
+	active []wire.ServerID // Active members, in join order
+}
+
+// NumActive returns how many members accept new placements.
+func (v *View) NumActive() int { return len(v.active) }
+
+// ActiveIDs returns the active members in placement order (a copy).
+func (v *View) ActiveIDs() []wire.ServerID {
+	out := make([]wire.ServerID, len(v.active))
+	copy(out, v.active)
+	return out
+}
+
+// StateOf returns the member's state and whether it is in the view.
+func (v *View) StateOf(id wire.ServerID) (State, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m.State, true
+		}
+	}
+	return 0, false
+}
+
+// ServerAt is the striping-group function: the server holding member
+// slot of stripe under this view. Placement rotates with the stripe
+// number over the active ring so data and parity load spread across all
+// servers; because the ring holds distinct servers, any Width ≤
+// NumActive consecutive slots land on distinct servers — the
+// failure-independence invariant stripes need.
+func (v *View) ServerAt(stripe uint64, slot int) wire.ServerID {
+	n := len(v.active)
+	return v.active[int((stripe+uint64(slot))%uint64(n))]
+}
+
+// rebuild recomputes the active ring from Members.
+func (v *View) rebuild() {
+	v.active = v.active[:0]
+	for _, m := range v.Members {
+		if m.State == Active {
+			v.active = append(v.active, m.ID)
+		}
+	}
+}
+
+// Map is the versioned placement map plus the live connection registry.
+// Views are immutable once published; the map itself is safe for
+// concurrent use.
+type Map struct {
+	mu    sync.RWMutex
+	views []*View // views[i].Epoch == i; views[len-1] is head
+	conns map[wire.ServerID]transport.ServerConn
+	maxID wire.ServerID // highest ID ever admitted; never reused
+}
+
+// New builds a map whose epoch-0 view is the given servers, all active,
+// in list order. IDs must be unique.
+func New(servers []transport.ServerConn) (*Map, error) {
+	m := &Map{conns: make(map[wire.ServerID]transport.ServerConn, len(servers))}
+	v := &View{Epoch: 0, Members: make([]Member, 0, len(servers))}
+	for _, sc := range servers {
+		id := sc.ID()
+		if _, dup := m.conns[id]; dup {
+			return nil, fmt.Errorf("placement: duplicate server id %d", id)
+		}
+		m.conns[id] = sc
+		v.Members = append(v.Members, Member{ID: id, State: Active})
+		if id > m.maxID {
+			m.maxID = id
+		}
+	}
+	v.rebuild()
+	m.views = []*View{v}
+	return m, nil
+}
+
+// Head returns the current view.
+func (m *Map) Head() *View {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.views[len(m.views)-1]
+}
+
+// Epoch returns the head view's epoch.
+func (m *Map) Epoch() uint32 { return m.Head().Epoch }
+
+// View returns the view for epoch, or nil if this session never
+// published it (e.g. an epoch stamped by a previous session).
+func (m *Map) View(epoch uint32) *View {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(epoch) >= len(m.views) {
+		return nil
+	}
+	return m.views[epoch]
+}
+
+// Conn returns the live connection for a member, or nil after removal.
+func (m *Map) Conn(id wire.ServerID) transport.ServerConn {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.conns[id]
+}
+
+// Conns returns every member's connection (active and draining) in the
+// head view's join order. Removed servers are gone.
+func (m *Map) Conns() []transport.ServerConn {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	head := m.views[len(m.views)-1]
+	out := make([]transport.ServerConn, 0, len(head.Members))
+	for _, mem := range head.Members {
+		out = append(out, m.conns[mem.ID])
+	}
+	return out
+}
+
+// NextID returns an ID no server has ever held in this session —
+// suitable for a joining server. IDs are never reused so a stale
+// location or header Group entry can never alias a newcomer.
+func (m *Map) NextID() wire.ServerID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.maxID + 1
+}
+
+// Resolve returns the connection expected to hold (stripe, slot) of a
+// stripe placed under epoch. When the assigned server has since been
+// removed, resolution falls forward to the head epoch's assignment —
+// valid because Remove requires a completed drain, whose invariant is
+// that every fragment has been migrated to its head-epoch home. Returns
+// nil when the epoch is unknown (stamped by another session); callers
+// fall back to recorded locations or broadcast discovery.
+func (m *Map) Resolve(epoch uint32, stripe uint64, slot int) transport.ServerConn {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(epoch) >= len(m.views) {
+		return nil
+	}
+	id := m.views[epoch].ServerAt(stripe, slot)
+	if sc := m.conns[id]; sc != nil {
+		return sc
+	}
+	head := m.views[len(m.views)-1]
+	return m.conns[head.ServerAt(stripe, slot)]
+}
+
+// Join admits a new server and publishes a new head view with it
+// active. Returns the new epoch.
+func (m *Map) Join(conn transport.ServerConn) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := conn.ID()
+	if _, dup := m.conns[id]; dup {
+		return 0, fmt.Errorf("placement: server id %d already in map", id)
+	}
+	head := m.views[len(m.views)-1]
+	next := &View{Epoch: head.Epoch + 1, Members: append(append([]Member(nil), head.Members...), Member{ID: id, State: Active})}
+	next.rebuild()
+	m.conns[id] = conn
+	if id > m.maxID {
+		m.maxID = id
+	}
+	m.views = append(m.views, next)
+	return next.Epoch, nil
+}
+
+// Drain marks a member draining and publishes a new head view without
+// it in the active ring. minActive is the floor the remaining active
+// set must not drop below (the stripe width). Draining a server that is
+// already draining is a no-op returning the current epoch.
+func (m *Map) Drain(id wire.ServerID, minActive int) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	head := m.views[len(m.views)-1]
+	st, ok := head.StateOf(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownServer, id)
+	}
+	if st == Draining {
+		return head.Epoch, nil
+	}
+	if head.NumActive()-1 < minActive {
+		return 0, fmt.Errorf("%w: %d active - 1 < width %d", ErrBelowWidth, head.NumActive(), minActive)
+	}
+	next := &View{Epoch: head.Epoch + 1, Members: make([]Member, len(head.Members))}
+	copy(next.Members, head.Members)
+	for i := range next.Members {
+		if next.Members[i].ID == id {
+			next.Members[i].State = Draining
+		}
+	}
+	next.rebuild()
+	m.views = append(m.views, next)
+	return next.Epoch, nil
+}
+
+// Remove drops a drained member from the map entirely and publishes a
+// new head view without it. The server must be draining — Remove is the
+// completion of a drain, not a shortcut around one.
+func (m *Map) Remove(id wire.ServerID) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	head := m.views[len(m.views)-1]
+	st, ok := head.StateOf(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownServer, id)
+	}
+	if st != Draining {
+		return 0, fmt.Errorf("%w: %d", ErrNotDraining, id)
+	}
+	next := &View{Epoch: head.Epoch + 1, Members: make([]Member, 0, len(head.Members)-1)}
+	for _, mem := range head.Members {
+		if mem.ID != id {
+			next.Members = append(next.Members, mem)
+		}
+	}
+	next.rebuild()
+	delete(m.conns, id)
+	m.views = append(m.views, next)
+	return next.Epoch, nil
+}
+
+// Info is a snapshot of the map for operators (swarmctl status).
+type Info struct {
+	Epoch   uint32
+	Members []Member
+}
+
+// Snapshot returns the head view as an Info copy.
+func (m *Map) Snapshot() Info {
+	head := m.Head()
+	return Info{Epoch: head.Epoch, Members: append([]Member(nil), head.Members...)}
+}

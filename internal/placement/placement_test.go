@@ -1,0 +1,195 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+// stubConn implements only ID(); placement never calls anything else.
+type stubConn struct {
+	transport.ServerConn
+	id wire.ServerID
+}
+
+func (s stubConn) ID() wire.ServerID { return s.id }
+
+func stubs(ids ...wire.ServerID) []transport.ServerConn {
+	out := make([]transport.ServerConn, len(ids))
+	for i, id := range ids {
+		out[i] = stubConn{id: id}
+	}
+	return out
+}
+
+func newMap(t *testing.T, ids ...wire.ServerID) *Map {
+	t.Helper()
+	m, err := New(stubs(ids...))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsDuplicateIDs(t *testing.T) {
+	if _, err := New(stubs(1, 2, 1)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestServerAtRotatesOverDistinctServers(t *testing.T) {
+	m := newMap(t, 1, 2, 3, 4)
+	v := m.Head()
+	if v.Epoch != 0 {
+		t.Fatalf("fresh map epoch = %d, want 0", v.Epoch)
+	}
+	for stripe := uint64(0); stripe < 8; stripe++ {
+		seen := make(map[wire.ServerID]bool)
+		for slot := 0; slot < 4; slot++ {
+			id := v.ServerAt(stripe, slot)
+			if seen[id] {
+				t.Fatalf("stripe %d: server %d placed twice", stripe, id)
+			}
+			seen[id] = true
+		}
+		// The rotation matches the historical (stripe+slot) mod n rule.
+		if got, want := v.ServerAt(stripe, 0), wire.ServerID(1+(stripe%4)); got != want {
+			t.Fatalf("stripe %d slot 0 on %d, want %d", stripe, got, want)
+		}
+	}
+}
+
+func TestJoinPublishesNewEpoch(t *testing.T) {
+	m := newMap(t, 1, 2, 3)
+	if got := m.NextID(); got != 4 {
+		t.Fatalf("NextID = %d, want 4", got)
+	}
+	epoch, err := m.Join(stubConn{id: 4})
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if epoch != 1 || m.Epoch() != 1 {
+		t.Fatalf("epoch after join = %d/%d, want 1", epoch, m.Epoch())
+	}
+	if n := m.Head().NumActive(); n != 4 {
+		t.Fatalf("active after join = %d, want 4", n)
+	}
+	// The epoch-0 view still places over the original three servers.
+	old := m.View(0)
+	for stripe := uint64(0); stripe < 6; stripe++ {
+		for slot := 0; slot < 3; slot++ {
+			if id := old.ServerAt(stripe, slot); id == 4 {
+				t.Fatal("epoch 0 placed on the joined server")
+			}
+		}
+	}
+	if _, err := m.Join(stubConn{id: 2}); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestDrainExcludesFromPlacementAndEnforcesWidth(t *testing.T) {
+	m := newMap(t, 1, 2, 3, 4)
+	if _, err := m.Drain(2, 4); !errors.Is(err, ErrBelowWidth) {
+		t.Fatalf("drain below width: err = %v, want ErrBelowWidth", err)
+	}
+	epoch, err := m.Drain(2, 3)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", epoch)
+	}
+	head := m.Head()
+	if head.NumActive() != 3 {
+		t.Fatalf("active = %d, want 3", head.NumActive())
+	}
+	for stripe := uint64(0); stripe < 9; stripe++ {
+		for slot := 0; slot < 3; slot++ {
+			if head.ServerAt(stripe, slot) == 2 {
+				t.Fatal("head epoch placed on draining server")
+			}
+		}
+	}
+	if st, ok := head.StateOf(2); !ok || st != Draining {
+		t.Fatalf("state of 2 = %v/%v, want Draining", st, ok)
+	}
+	// Idempotent: draining again returns the same epoch.
+	again, err := m.Drain(2, 3)
+	if err != nil || again != 1 {
+		t.Fatalf("re-drain = %d, %v", again, err)
+	}
+	if _, err := m.Drain(9, 3); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("drain unknown: %v", err)
+	}
+}
+
+func TestRemoveRequiresDrainAndFallsForward(t *testing.T) {
+	m := newMap(t, 1, 2, 3, 4)
+	if _, err := m.Remove(3); !errors.Is(err, ErrNotDraining) {
+		t.Fatalf("remove active: %v, want ErrNotDraining", err)
+	}
+	if _, err := m.Drain(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a (stripe, slot) that epoch 0 assigned to server 3.
+	var stripe uint64
+	var slot int
+	found := false
+	v0 := m.View(0)
+	for s := uint64(0); s < 4 && !found; s++ {
+		for i := 0; i < 4 && !found; i++ {
+			if v0.ServerAt(s, i) == 3 {
+				stripe, slot, found = s, i, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no slot on server 3")
+	}
+	// While draining, the old epoch still resolves to the drained server
+	// (it keeps serving reads until its fragments migrate).
+	if sc := m.Resolve(0, stripe, slot); sc == nil || sc.ID() != 3 {
+		t.Fatalf("resolve while draining = %v, want server 3", sc)
+	}
+	if _, err := m.Remove(3); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if m.Conn(3) != nil {
+		t.Fatal("removed server still has a conn")
+	}
+	// After removal, epoch-0 resolution falls forward to the head view's
+	// assignment for the same slot.
+	sc := m.Resolve(0, stripe, slot)
+	if sc == nil || sc.ID() == 3 {
+		t.Fatalf("resolve after remove = %v, want fall-forward", sc)
+	}
+	if want := m.Head().ServerAt(stripe, slot); sc.ID() != want {
+		t.Fatalf("fall-forward to %d, want head assignment %d", sc.ID(), want)
+	}
+	// IDs are never reused, even after removal.
+	if got := m.NextID(); got != 5 {
+		t.Fatalf("NextID after remove = %d, want 5", got)
+	}
+	if len(m.Conns()) != 3 {
+		t.Fatalf("Conns = %d members, want 3", len(m.Conns()))
+	}
+}
+
+func TestResolveUnknownEpochReturnsNil(t *testing.T) {
+	m := newMap(t, 1, 2)
+	if sc := m.Resolve(7, 0, 0); sc != nil {
+		t.Fatalf("unknown epoch resolved to %v", sc)
+	}
+}
+
+func TestSnapshotCopiesMembers(t *testing.T) {
+	m := newMap(t, 1, 2, 3)
+	info := m.Snapshot()
+	info.Members[0].State = Draining
+	if st, _ := m.Head().StateOf(1); st != Active {
+		t.Fatal("snapshot aliases live view")
+	}
+}

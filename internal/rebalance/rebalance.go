@@ -1,0 +1,278 @@
+// Package rebalance drains fragments off storage servers that are
+// leaving the cluster. It is a client-side background engine, in
+// keeping with Swarm's design: servers are passive fragment
+// repositories, so migration — like reconstruction, rebuild, and
+// cleaning — is driven by the client that owns the data.
+//
+// The rebalancer's safety rules:
+//
+//   - Verify before delete. A source copy is removed only after the
+//     target copy has been read back and matched (FID and payload CRC)
+//     against what was sent. A crash mid-move leaves a duplicate, never
+//     a gap; duplicates are harmless (stores are idempotent and reads
+//     take the first valid copy).
+//
+//   - Epoch fencing. Each move captures the placement epoch before
+//     picking its target, and re-checks it after the verify. If
+//     membership changed mid-move, the move re-plans against the new
+//     head view rather than deleting the source on the strength of a
+//     stale placement decision.
+//
+//   - Dead sources migrate too. When the source stops answering, every
+//     fragment this session knows it held is reconstructed from its
+//     stripe's surviving members and stored at its new home — the
+//     drain completes on redundancy instead of stalling on a corpse.
+//
+// Progress is resumable by construction: each pass re-lists the source
+// and moves only what is still there, so a crashed or cancelled drain
+// restarts from the survey, not from a checkpoint file.
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/wire"
+)
+
+// ErrStalled is returned when a full pass over the source moved nothing
+// yet fragments remain — every survivor failed to fetch, reconstruct,
+// or store. The drain can be re-run once the cluster heals.
+var ErrStalled = errors.New("rebalance: no progress; fragments remain on source")
+
+const (
+	defaultWorkers = 4
+	maxFenceRetry  = 4
+)
+
+// Options tune a drain.
+type Options struct {
+	// Workers bounds concurrent fragment moves (default 4). The
+	// per-server queues in the I/O engine still apply underneath, so a
+	// large worker count cannot swamp any single server.
+	Workers int
+	// Pace, when nonzero, inserts a delay between moves on each worker
+	// — a crude throttle to keep a drain from starving foreground I/O.
+	Pace time.Duration
+}
+
+// Stats is a snapshot of a drain's progress.
+type Stats struct {
+	Source        wire.ServerID
+	Passes        int   // survey passes over the source
+	Planned       int   // moves attempted
+	Moved         int   // fragments now verified at their new home
+	Bytes         int64 // payload bytes moved
+	Reconstructed int   // moves served by stripe reconstruction, not the source
+	Refenced      int   // moves re-planned after a mid-move epoch change
+	Skipped       int   // fragments left in place this run (fetch/store failed)
+	Done          bool  // source holds none of this client's fragments
+}
+
+// Rebalancer migrates one server's fragments to their new placement
+// homes. Create with New, start with Run (typically in a goroutine),
+// poll with Stats.
+type Rebalancer struct {
+	log  *core.Log
+	opts Options
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New prepares a drain of source's fragments out of l. Nothing runs
+// until Run is called.
+func New(l *core.Log, source wire.ServerID, opts Options) *Rebalancer {
+	if opts.Workers <= 0 {
+		opts.Workers = defaultWorkers
+	}
+	return &Rebalancer{log: l, opts: opts, stats: Stats{Source: source}}
+}
+
+// Stats returns a snapshot of the drain's progress.
+func (r *Rebalancer) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Run drains the source until it holds none of this client's fragments,
+// the context is cancelled, or a pass makes no progress (ErrStalled).
+// Safe to call again after an error: each pass re-surveys the source,
+// so completed moves are never repeated.
+func (r *Rebalancer) Run(ctx context.Context) error {
+	source := r.stats.Source
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Deletions deferred while servers were down would otherwise be
+		// surveyed as live fragments and migrated back to life.
+		r.log.FlushDeletes()
+		candidates := r.survey(source)
+		r.mu.Lock()
+		r.stats.Passes++
+		r.mu.Unlock()
+		if len(candidates) == 0 {
+			// Either the source listed empty, or it never answered and
+			// this session has no record of anything on it (in which
+			// case reconstruction has nothing to work from either).
+			r.markDone()
+			return nil
+		}
+		moved := r.pass(ctx, source, candidates)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if moved == 0 {
+			return fmt.Errorf("%w: %d left on server %d", ErrStalled, len(candidates), source)
+		}
+	}
+}
+
+// survey collects the fragments still needing migration off source:
+// the server's own listing when it answers, this session's location and
+// degraded-write records when it does not.
+func (r *Rebalancer) survey(source wire.ServerID) (fids []wire.FID) {
+	seen := make(map[wire.FID]bool)
+	if ls, err := r.log.ListServer(source); err == nil {
+		for _, fid := range ls {
+			if !seen[fid] {
+				seen[fid] = true
+				fids = append(fids, fid)
+			}
+		}
+	} else {
+		for _, fid := range r.log.LocationsOn(source) {
+			if !seen[fid] {
+				seen[fid] = true
+				fids = append(fids, fid)
+			}
+		}
+	}
+	// Degraded writes destined for the source exist only as stripe
+	// redundancy; they never show up in its listing but must be
+	// re-homed or the stripe stays one failure from data loss.
+	for _, fid := range r.log.DegradedOn(source) {
+		if !seen[fid] {
+			seen[fid] = true
+			fids = append(fids, fid)
+		}
+	}
+	return fids
+}
+
+// pass runs one bounded-concurrency sweep over the candidates and
+// returns how many moves completed.
+func (r *Rebalancer) pass(ctx context.Context, source wire.ServerID, candidates []wire.FID) int {
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, r.opts.Workers)
+		mu    sync.Mutex
+		moved int
+	)
+	for _, fid := range candidates {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(fid wire.FID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ok := r.move(source, fid)
+			mu.Lock()
+			if ok {
+				moved++
+			}
+			mu.Unlock()
+			if r.opts.Pace > 0 {
+				select {
+				case <-time.After(r.opts.Pace):
+				case <-ctx.Done():
+				}
+			}
+		}(fid)
+	}
+	wg.Wait()
+	return moved
+}
+
+// move relocates one fragment off source. Returns true when the
+// fragment is verified at its new home and the source copy is dealt
+// with (deleted, or deferred for deletion).
+func (r *Rebalancer) move(source wire.ServerID, fid wire.FID) bool {
+	r.bump(func(s *Stats) { s.Planned++ })
+	h, payload, err := r.log.FetchFrameFrom(source, fid)
+	if err != nil {
+		// Source unreachable, or the fragment vanished (reclaimed, or a
+		// concurrent mover won). Reconstruct from the stripe; if the
+		// fragment is logically gone this fails too and we skip.
+		h, payload, err = r.log.FetchFragment(fid)
+		if err != nil {
+			r.bump(func(s *Stats) { s.Skipped++ })
+			return false
+		}
+		r.bump(func(s *Stats) { s.Reconstructed++ })
+	}
+
+	var avoid []wire.ServerID
+	for attempt := 0; attempt < maxFenceRetry; attempt++ {
+		epoch := r.log.PlacementEpoch()
+		target, err := r.log.MigrationTarget(&h, source, avoid...)
+		if err != nil {
+			r.bump(func(s *Stats) { s.Skipped++ })
+			return false
+		}
+		if err := r.log.StoreFrame(target, &h, payload); err != nil {
+			// One retry on the next active server — the preferred
+			// target may itself be failing.
+			avoid = append(avoid, target.ID())
+			continue
+		}
+		if err := r.log.VerifyFrameOn(target, &h); err != nil {
+			avoid = append(avoid, target.ID())
+			continue
+		}
+		if r.log.PlacementEpoch() != epoch {
+			// Membership moved under us: the target we verified may no
+			// longer be where this slot belongs (it could even be the
+			// next server to drain). Re-plan; the verified copy is a
+			// harmless duplicate that a later pass or cleaner removes.
+			r.bump(func(s *Stats) { s.Refenced++ })
+			avoid = nil
+			continue
+		}
+		// Publish the new location before touching the source so reads
+		// never race the delete.
+		r.log.NoteMigrated(fid, target.ID(), len(payload))
+		if conn := r.log.ServerConn(source); conn != nil {
+			if err := r.log.DeleteFrom(conn, fid); err != nil {
+				r.log.NoteOrphan(fid, source)
+			}
+		}
+		r.bump(func(s *Stats) {
+			s.Moved++
+			s.Bytes += int64(len(payload))
+		})
+		return true
+	}
+	r.bump(func(s *Stats) { s.Skipped++ })
+	return false
+}
+
+func (r *Rebalancer) markDone() {
+	r.mu.Lock()
+	r.stats.Done = true
+	r.mu.Unlock()
+}
+
+func (r *Rebalancer) bump(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}

@@ -1,0 +1,236 @@
+package rebalance
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"swarm/internal/core"
+	"swarm/internal/disk"
+	"swarm/internal/erasure"
+	"swarm/internal/server"
+	"swarm/internal/transport"
+	"swarm/internal/wire"
+)
+
+const (
+	testFragSize = 4096
+	testClient   = wire.ClientID(1)
+)
+
+type cluster struct {
+	flaky []*transport.Flaky
+	conns []transport.ServerConn
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{}
+	for i := 0; i < n; i++ {
+		c.grow(t)
+	}
+	return c
+}
+
+func (c *cluster) grow(t *testing.T) transport.ServerConn {
+	t.Helper()
+	d := disk.NewMemDisk(8 << 20)
+	st, err := server.Format(d, server.Config{FragmentSize: testFragSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := transport.NewFlaky(transport.NewLocal(wire.ServerID(len(c.conns)+1), st, testClient))
+	c.flaky = append(c.flaky, fl)
+	c.conns = append(c.conns, fl)
+	return fl
+}
+
+func (c *cluster) open(t *testing.T, cfg core.Config) *core.Log {
+	t.Helper()
+	cfg.Client = testClient
+	cfg.Servers = c.conns
+	cfg.FragmentSize = testFragSize
+	l, _, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func pattern(i, n int) []byte {
+	b := make([]byte, n)
+	for j := range b {
+		b[j] = byte(i*7 + j)
+	}
+	return b
+}
+
+func writeBlocks(t *testing.T, l *core.Log, lo, hi int) []core.BlockAddr {
+	t.Helper()
+	var addrs []core.BlockAddr
+	for i := lo; i < hi; i++ {
+		a, err := l.AppendBlock(7, pattern(i, 1024), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return addrs
+}
+
+func checkBlocks(t *testing.T, l *core.Log, addrs []core.BlockAddr, lo int) {
+	t.Helper()
+	for i, a := range addrs {
+		got, err := l.Read(a, 0, 1024)
+		if err != nil {
+			t.Fatalf("read block %d: %v", lo+i, err)
+		}
+		if !bytes.Equal(got, pattern(lo+i, 1024)) {
+			t.Fatalf("block %d corrupted", lo+i)
+		}
+	}
+}
+
+func drainAndRun(t *testing.T, l *core.Log, source wire.ServerID, opts Options) Stats {
+	t.Helper()
+	if _, err := l.DrainServer(source); err != nil {
+		t.Fatal(err)
+	}
+	r := New(l, source, opts)
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatalf("rebalance: %v (stats %+v)", err, r.Stats())
+	}
+	return r.Stats()
+}
+
+func TestDrainMigratesEverything(t *testing.T) {
+	c := newCluster(t, 4)
+	l := c.open(t, core.Config{Width: 3})
+	addrs := writeBlocks(t, l, 0, 48)
+
+	source := wire.ServerID(2)
+	before, err := c.conns[source-1].List(testClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("source held nothing; test is vacuous")
+	}
+	st := drainAndRun(t, l, source, Options{})
+	if !st.Done {
+		t.Fatalf("drain not done: %+v", st)
+	}
+	if st.Moved < len(before) {
+		t.Fatalf("moved %d of %d fragments", st.Moved, len(before))
+	}
+	if left, _ := c.conns[source-1].List(testClient); len(left) != 0 {
+		t.Fatalf("%d fragments left on drained server", len(left))
+	}
+	// The server can now leave entirely, and everything still reads.
+	if _, err := l.RemoveServer(source); err != nil {
+		t.Fatal(err)
+	}
+	checkBlocks(t, l, addrs, 0)
+	if ls := l.Stats(); ls.RebalancedFragments != int64(st.Moved) {
+		t.Fatalf("log counted %d rebalanced, rebalancer %d", ls.RebalancedFragments, st.Moved)
+	}
+}
+
+func TestDrainDeadSourceReconstructs(t *testing.T) {
+	c := newCluster(t, 5)
+	l := c.open(t, core.Config{Width: 4, ParityShards: 2, Codec: erasure.KindRS})
+	addrs := writeBlocks(t, l, 0, 48)
+
+	source := wire.ServerID(3)
+	before, err := c.conns[source-1].List(testClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("source held nothing; test is vacuous")
+	}
+	// The server dies before the drain even starts: every fragment it
+	// held must be rebuilt from stripe redundancy at its new home.
+	c.flaky[source-1].SetDown(true)
+	st := drainAndRun(t, l, source, Options{Workers: 2})
+	if !st.Done {
+		t.Fatalf("drain not done: %+v", st)
+	}
+	if st.Reconstructed == 0 {
+		t.Fatalf("expected reconstructed moves, got %+v", st)
+	}
+	checkBlocks(t, l, addrs, 0)
+	// Removal of the dead, drained server is allowed (List fails, but
+	// the drain already re-homed its share), and reads keep working.
+	if _, err := l.RemoveServer(source); err != nil {
+		t.Fatal(err)
+	}
+	checkBlocks(t, l, addrs, 0)
+}
+
+func TestDrainResumesAfterCancel(t *testing.T) {
+	c := newCluster(t, 4)
+	l := c.open(t, core.Config{Width: 3})
+	addrs := writeBlocks(t, l, 0, 64)
+
+	source := wire.ServerID(1)
+	if _, err := l.DrainServer(source); err != nil {
+		t.Fatal(err)
+	}
+	// First run is cancelled almost immediately; Pace guarantees the
+	// pass is still in flight when the context fires.
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(l, source, Options{Workers: 1, Pace: 2 * time.Millisecond})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if err := r.Run(ctx); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+
+	// Second run finishes the job from a fresh survey.
+	r2 := New(l, source, Options{})
+	if err := r2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := c.conns[source-1].List(testClient); len(left) != 0 {
+		t.Fatalf("%d fragments left after resumed drain", len(left))
+	}
+	total := r.Stats().Moved + r2.Stats().Moved
+	if dup := total - int(l.Stats().RebalancedFragments); dup != 0 {
+		t.Fatalf("moves double-counted: %d", dup)
+	}
+	checkBlocks(t, l, addrs, 0)
+}
+
+func TestDrainUnderConcurrentWrites(t *testing.T) {
+	c := newCluster(t, 4)
+	l := c.open(t, core.Config{Width: 3})
+	addrs := writeBlocks(t, l, 0, 24)
+
+	source := wire.ServerID(2)
+	if _, err := l.DrainServer(source); err != nil {
+		t.Fatal(err)
+	}
+	r := New(l, source, Options{Workers: 2})
+	done := make(chan error, 1)
+	go func() { done <- r.Run(context.Background()) }()
+
+	// Keep appending while the drain runs; none of it may land on the
+	// draining server, and all of it must survive.
+	more := writeBlocks(t, l, 100, 148)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := c.conns[source-1].List(testClient); len(left) != 0 {
+		t.Fatalf("%d fragments on draining server after concurrent writes", len(left))
+	}
+	checkBlocks(t, l, addrs, 0)
+	checkBlocks(t, l, more, 100)
+}

@@ -33,6 +33,8 @@ import (
 	"swarm/internal/codec"
 	"swarm/internal/core"
 	"swarm/internal/ldisk"
+	"swarm/internal/placement"
+	"swarm/internal/rebalance"
 	"swarm/internal/service"
 	"swarm/internal/sting"
 	"swarm/internal/transport"
@@ -91,6 +93,25 @@ type (
 	// Health is a per-server snapshot of circuit state and failure
 	// counters, as returned by Client.Health.
 	Health = transport.Health
+	// PlacementInfo is a snapshot of the placement map: epoch plus each
+	// member's state, as returned by Client.Placement.
+	PlacementInfo = placement.Info
+	// PlacementMember is one server's entry in a PlacementInfo.
+	PlacementMember = placement.Member
+	// ServerState is a placement member's lifecycle state.
+	ServerState = placement.State
+	// RebalanceStats is a drain's progress snapshot.
+	RebalanceStats = rebalance.Stats
+	// RebalanceOptions tunes a background drain.
+	RebalanceOptions = rebalance.Options
+)
+
+// Placement member states.
+const (
+	// ServerActive: the server receives new stripe placements.
+	ServerActive = placement.Active
+	// ServerDraining: excluded from new placement; being emptied.
+	ServerDraining = placement.Draining
 )
 
 // Codec constructors: the paper's compression and encryption services
