@@ -55,12 +55,12 @@ bench-strict:
 # Tiny wirepath (serial vs multiplexed wire path, DESIGN.md §3.9),
 # servercommit (serial vs group-committed store path, DESIGN.md §3.10),
 # erasure-geometry (write amplification vs reconstruction cost,
-# DESIGN.md §3.11), and rebalance (foreground throughput during an
-# elastic drain, DESIGN.md §3.12) runs as CI smoke checks. Shape only by
-# default; set SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup
-# ratios.
+# DESIGN.md §3.11), rebalance (foreground throughput during an elastic
+# drain, DESIGN.md §3.12), and readpath (Zipf serving-tier sweep,
+# DESIGN.md §3.13) runs as CI smoke checks. Shape only by default; set
+# SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure|TestRebalance' ./internal/bench
+	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure|TestRebalance|TestReadpath' ./internal/bench
 
 # Short fuzzing pass over the wire codecs and the erasure coder (not
 # part of ci: fuzzing is open-ended by nature; run it before touching

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -175,6 +178,206 @@ func TestChaosSurvivesServerOutages(t *testing.T) {
 		if err := c.Log().VerifyStripe(s); err != nil {
 			t.Fatalf("stripe %d fails verification after rebuild: %v", s, err)
 		}
+	}
+}
+
+// TestChaosZipfReadsAlwaysFresh is the serving-tier chaos run: a fleet
+// of Zipf-skewed readers hammers the cluster — through the servers' read
+// caches, which NewServer enables by default — while a writer overwrites
+// blocks, the cleaner recycles stripes, and servers are killed, restored,
+// and rebuilt. Every read must return an internally consistent block no
+// older than what was durably committed before the read began: a cached
+// extent surviving slot recycling, reconstruction, or rebuild would
+// surface here as stale or torn bytes (the generation-counter invariant,
+// DESIGN.md §3.13).
+func TestChaosZipfReadsAlwaysFresh(t *testing.T) {
+	const (
+		nServers  = 5
+		nBlocks   = 64
+		blockSize = 2048
+		readers   = 8
+	)
+	cfg := transport.ResilientConfig{
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		FailThreshold: 3,
+		OpenTimeout:   40 * time.Millisecond,
+		Seed:          21,
+	}
+	conns := make([]transport.ServerConn, nServers)
+	flaky := make([]*transport.Flaky, nServers)
+	servers := make([]*Server, nServers)
+	for i := 0; i < nServers; i++ {
+		s, err := NewServer(ServerOptions{DiskBytes: 64 << 20, FragmentSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		servers[i] = s
+		flaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, 1))
+		conns[i] = transport.NewResilient(flaky[i], cfg)
+	}
+	c, err := connect(1, conns, ClientOptions{FragmentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d, err := c.NewLogicalDisk(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln := c.StartCleaner(0, CleanerConfig{UtilizationThreshold: 0.9, MaxStripesPerPass: 2, Force: true})
+
+	// version[lbn] is the latest durably readable version; monotonic per
+	// block (the global counter only grows).
+	var verMu sync.Mutex
+	version := make([]int, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		if err := d.Write(uint64(i), chaosBlock(uint64(i), 0, blockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zipf(1.0) inverse-CDF table: rank r is read ∝ 1/(r+1).
+	cum := make([]float64, nBlocks)
+	total := 0.0
+	for i := range cum {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+
+	stop := make(chan struct{})
+	var readOps atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*7 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lbn := uint64(sort.SearchFloat64s(cum, rng.Float64()*total))
+				verMu.Lock()
+				vmin := version[lbn]
+				verMu.Unlock()
+				// A block can be mid-relocation (cleaner) or mid-overwrite:
+				// its old address transiently errors. Retry; only wrong
+				// BYTES are a failure.
+				var got []byte
+				var rerr error
+				for attempt := 0; attempt < 8; attempt++ {
+					if got, rerr = d.Read(lbn); rerr == nil {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if rerr != nil {
+					t.Errorf("read block %d: %v", lbn, rerr)
+					return
+				}
+				// Recover the (lbn, version) seed the block was generated
+				// from, then require exact regeneration: any torn or
+				// cross-slot bytes break the whole-block pattern.
+				var seed [16]byte
+				for i := 0; i < 16; i++ {
+					seed[i] = got[i] ^ byte(i)
+				}
+				gotLbn := binary.LittleEndian.Uint64(seed[0:8])
+				gotVer := int(binary.LittleEndian.Uint64(seed[8:16]))
+				if gotLbn != lbn {
+					t.Errorf("block %d served block %d's data (stale cache extent?)", lbn, gotLbn)
+					return
+				}
+				if !bytes.Equal(got, chaosBlock(lbn, gotVer, blockSize)) {
+					t.Errorf("block %d v%d torn", lbn, gotVer)
+					return
+				}
+				if gotVer < vmin {
+					t.Errorf("block %d served v%d, but v%d was committed before the read", lbn, gotVer, vmin)
+					return
+				}
+				readOps.Add(1)
+			}
+		}(r)
+	}
+
+	// Writer + chaos driver: overwrite bursts, outages, cleaner churn,
+	// rebuilds — all while the readers run.
+	rng := rand.New(rand.NewSource(55))
+	nextVer := 1
+	writeBurst := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			lbn := uint64(rng.Intn(nBlocks))
+			v := nextVer
+			nextVer++
+			if err := d.Write(lbn, chaosBlock(lbn, v, blockSize)); err != nil {
+				t.Fatalf("write block %d v%d: %v", lbn, v, err)
+			}
+			// A completed Write is immediately readable (read-your-writes
+			// serves in-flight fragments), so v is now the reader floor.
+			verMu.Lock()
+			version[lbn] = v
+			verMu.Unlock()
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	for _, victim := range []int{1, 3} {
+		writeBurst(16)
+		flaky[victim].SetDown(true)
+		writeBurst(16)
+		if _, err := cln.CleanOnce(); err != nil {
+			t.Fatalf("clean with server %d down: %v", victim+1, err)
+		}
+		flaky[victim].SetDown(false)
+		time.Sleep(3 * cfg.OpenTimeout)
+		if _, err := c.RebuildServer(ServerID(victim + 1)); err != nil {
+			t.Fatalf("rebuild server %d: %v", victim+1, err)
+		}
+		writeBurst(16)
+	}
+	if _, err := cln.CleanOnce(); err != nil {
+		t.Fatalf("final clean: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if ops := readOps.Load(); ops < int64(readers) {
+		t.Fatalf("only %d reads completed", ops)
+	}
+
+	// Quiesced: every block must read back its exact latest version.
+	verMu.Lock()
+	final := append([]int(nil), version...)
+	verMu.Unlock()
+	for lbn, v := range final {
+		got, err := d.Read(uint64(lbn))
+		if err != nil {
+			t.Fatalf("final read block %d: %v", lbn, err)
+		}
+		if !bytes.Equal(got, chaosBlock(uint64(lbn), v, blockSize)) {
+			t.Fatalf("final: block %d is not v%d", lbn, v)
+		}
+	}
+	// The run must actually have exercised the server read caches.
+	var hits int64
+	for _, s := range servers {
+		hits += s.store.Stats().ReadHits
+	}
+	if hits == 0 {
+		t.Fatal("chaos run never hit the server read caches")
 	}
 }
 

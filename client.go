@@ -276,15 +276,20 @@ type FSConfig struct {
 	CacheBytes int64
 	// DirtyLimit is the write-back threshold. Default 4 MB.
 	DirtyLimit int64
+	// ReadaheadFragments arms the block cache's sequential readahead:
+	// misses walking forward through the log prefetch this many upcoming
+	// fragments. Zero disables. Only effective with CacheBytes > 0.
+	ReadaheadFragments int
 }
 
 // Mount mounts the Sting file system on this client's log, replaying any
 // recovered state.
 func (c *Client) Mount(cfg FSConfig) (*FS, error) {
 	return sting.Mount(c.log, c.reg, c.rec, sting.Config{
-		BlockSize:  cfg.BlockSize,
-		CacheBytes: cfg.CacheBytes,
-		DirtyLimit: cfg.DirtyLimit,
+		BlockSize:          cfg.BlockSize,
+		CacheBytes:         cfg.CacheBytes,
+		DirtyLimit:         cfg.DirtyLimit,
+		ReadaheadFragments: cfg.ReadaheadFragments,
 	})
 }
 

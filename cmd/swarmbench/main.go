@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_*.json)")
@@ -181,6 +181,21 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return nil
 	}
 
+	runReadpath := func() error {
+		rows, err := bench.RunReadpath(bench.ReadpathConfig{Scale: scale}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintReadpathResults(os.Stdout, rows)
+		if jsonOut {
+			if err := bench.WriteReadpathJSON("BENCH_readpath.json", rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_readpath.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -202,14 +217,16 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return runErasure()
 	case "rebalance":
 		return runRebalance()
+	case "readpath":
+		return runReadpath()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure, runRebalance} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure, runRebalance, runReadpath} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, all)", fig)
 	}
 }

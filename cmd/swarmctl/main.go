@@ -96,6 +96,11 @@ func run(addrs []string, client wire.ClientID, opts swarm.ClientOptions, args []
 					st.Stores, float64(st.Syncs)/float64(st.Stores), coalesced, st.SyncRequests,
 					meanEntryBatch(st), avg.Round(time.Microsecond))
 			}
+			if reads := st.ReadHits + st.ReadMisses; reads > 0 {
+				fmt.Printf("  read path: %d reads, %.1f%% cache hits, %d readahead loads, %d MB served from cache / %d MB from disk, %d MB resident\n",
+					reads, 100*float64(st.ReadHits)/float64(reads), st.ReadaheadLoads,
+					st.ReadBytesCached>>20, st.ReadBytesDisk>>20, st.ReadCacheBytes>>20)
+			}
 		}
 		return nil
 

@@ -31,15 +31,19 @@ func main() {
 		reuse       = flag.Bool("reuse", false, "reopen an existing formatted disk instead of formatting")
 		commitDelay = flag.Duration("commit-delay", 0,
 			"group-commit coalescing window (0 = opportunistic; see README on tuning)")
+		readCache = flag.Int64("read-cache", 0,
+			"read cache size in bytes (0 = default 64 MB, negative = disabled)")
+		readahead = flag.Int("readahead", 0,
+			"fragments prefetched per cache hit (0 = default 4, negative = disabled)")
 	)
 	flag.Parse()
-	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse, *commitDelay); err != nil {
+	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse, *commitDelay, *readCache, *readahead); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool, commitDelay time.Duration) error {
+func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool, commitDelay time.Duration, readCache int64, readahead int) error {
 	if !mem && diskPath == "" {
 		return fmt.Errorf("need -disk PATH or -mem")
 	}
@@ -55,6 +59,9 @@ func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool
 		Logger:       logger,
 		Reuse:        reuse,
 		CommitDelay:  commitDelay,
+
+		ReadCacheBytes:     readCache,
+		ReadaheadFragments: readahead,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,244 @@
+package blockcache
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"swarm/internal/core"
+)
+
+// gatedReader blocks every Read until the gate opens, and counts the
+// reads that actually reached it — the instrument for proving
+// singleflight collapses concurrent misses into one fill.
+type gatedReader struct {
+	gate  chan struct{}
+	reads atomic.Int64
+	data  []byte
+}
+
+func (g *gatedReader) Read(addr core.BlockAddr, off, n uint32) ([]byte, error) {
+	g.reads.Add(1)
+	<-g.gate
+	out := make([]byte, n)
+	copy(out, g.data[off:off+n])
+	return out, nil
+}
+
+// TestSingleflightOneFill is the regression test for the N-identical-fills
+// bug: N concurrent readers of one uncached block must produce exactly one
+// lower-level read, with every reader receiving the shared result.
+func TestSingleflightOneFill(t *testing.T) {
+	const readers = 32
+	g := &gatedReader{gate: make(chan struct{}), data: bytes.Repeat([]byte{7}, 128)}
+	c := New(g, 1<<20)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.ReadBlock(addr(0), 128, 0, 128)
+		}(i)
+	}
+	// Wait until the first (and only) fill is parked in the lower reader,
+	// then let it finish. The remaining readers must be queued on the
+	// flight, not in the reader.
+	for g.reads.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(g.gate)
+	wg.Wait()
+
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], g.data) {
+			t.Fatalf("reader %d: data mismatch", i)
+		}
+	}
+	if n := g.reads.Load(); n != 1 {
+		t.Fatalf("lower reads = %d, want 1 (singleflight broken)", n)
+	}
+	if f := c.Fills(); f != 1 {
+		t.Fatalf("fills = %d, want 1", f)
+	}
+	// Readers scheduled after the fill completed count as hits; everyone
+	// else as a miss. Either way the total adds up and only one filled.
+	hits, misses, _ := c.Stats()
+	if hits+misses != readers {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, readers)
+	}
+}
+
+// TestSingleflightErrorShared: a failing fill must propagate its error to
+// every waiter and leave no flight entry behind.
+func TestSingleflightErrorShared(t *testing.T) {
+	f := newFake(0, 0) // empty lower: every read errors
+	c := New(f, 1<<20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.ReadBlock(addr(3), 64, 0, 64); err == nil {
+				t.Error("missing block read succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+	c.flightMu.Lock()
+	n := len(c.flights)
+	c.flightMu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d flights leaked", n)
+	}
+}
+
+// TestHitPathZeroAlloc pins the hot-hit path at zero allocations: a hit
+// returns a subslice of the cached block, nothing else.
+func TestHitPathZeroAlloc(t *testing.T) {
+	f := newFake(1, 4096)
+	c := New(f, 1<<20)
+	if _, err := c.ReadBlock(addr(0), 4096, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.ReadBlock(addr(0), 4096, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// prefetchReader records Prefetch calls so the sequential-miss detector
+// can be observed.
+type prefetchReader struct {
+	fakeReader
+	mu       sync.Mutex
+	prefetch []core.BlockAddr
+	depths   []int
+}
+
+func (p *prefetchReader) Prefetch(addr core.BlockAddr, fragments int) {
+	p.mu.Lock()
+	p.prefetch = append(p.prefetch, addr)
+	p.depths = append(p.depths, fragments)
+	p.mu.Unlock()
+}
+
+// TestReadaheadFiresOnSequentialMisses: misses walking forward in log
+// order trigger exactly one Prefetch per fragment entered; random-order
+// misses trigger none.
+func TestReadaheadFiresOnSequentialMisses(t *testing.T) {
+	p := &prefetchReader{fakeReader: *newFake(8, 64)}
+	c := New(p, 1<<20)
+	c.SetReadahead(4)
+
+	// Sequential walk: addr(0), addr(1), addr(2). The first miss arms the
+	// detector; the second and third each enter a new fragment → 2 fires.
+	for i := 0; i < 3; i++ {
+		if _, err := c.ReadBlock(addr(i), 64, 0, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.mu.Lock()
+	fired := len(p.prefetch)
+	p.mu.Unlock()
+	if fired != 2 {
+		t.Fatalf("prefetches = %d, want 2", fired)
+	}
+	if got := c.ReadaheadTriggers(); got != 2 {
+		t.Fatalf("ReadaheadTriggers = %d, want 2", got)
+	}
+	if p.depths[0] != 4 {
+		t.Fatalf("prefetch depth = %d, want 4", p.depths[0])
+	}
+
+	// Re-reading a cached fragment (hit) must not re-fire, and a
+	// backwards jump breaks the run.
+	if _, err := c.ReadBlock(addr(1), 64, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadBlock(addr(6), 64, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	fired = len(p.prefetch)
+	p.mu.Unlock()
+	if fired != 2 {
+		t.Fatalf("non-sequential miss fired prefetch (total %d)", fired)
+	}
+}
+
+// TestReadaheadDisabledByDefault: without SetReadahead, sequential misses
+// never call Prefetch.
+func TestReadaheadDisabledByDefault(t *testing.T) {
+	p := &prefetchReader{fakeReader: *newFake(4, 64)}
+	c := New(p, 1<<20)
+	for i := 0; i < 4; i++ {
+		if _, err := c.ReadBlock(addr(i), 64, 0, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.prefetch) != 0 {
+		t.Fatalf("prefetch fired with readahead disabled (%d)", len(p.prefetch))
+	}
+}
+
+// TestShardsFor pins the capacity→shards policy: tiny caches get one
+// shard (exact global LRU), serving-scale caches get the full fan-out.
+func TestShardsFor(t *testing.T) {
+	cases := []struct {
+		capBytes int64
+		want     int
+	}{
+		{250, 1},
+		{256 << 10, 1},
+		{512 << 10, 2},
+		{1 << 20, 4},
+		{4 << 20, 16},
+		{64 << 20, 16},
+	}
+	for _, tc := range cases {
+		if got := shardsFor(tc.capBytes); got != tc.want {
+			t.Errorf("shardsFor(%d) = %d, want %d", tc.capBytes, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkHotHitParallel measures 64 readers hammering cached blocks —
+// the lock-convoy scenario the sharded LRU exists for. Run with
+// -benchtime and compare ns/op against a single-shard build to see the
+// convoy; the allocation report must stay at 0 allocs/op.
+func BenchmarkHotHitParallel(b *testing.B) {
+	const blocks = 64
+	f := newFake(blocks, 4096)
+	c := New(f, 64<<20) // serving-scale: full shard fan-out
+	for i := 0; i < blocks; i++ {
+		if _, err := c.ReadBlock(addr(i), 4096, 0, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(8) // 8 × GOMAXPROCS goroutines ≥ 64 readers
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.ReadBlock(addr(i%blocks), 4096, 0, 4096); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -152,8 +152,14 @@ type Log struct {
 	// AddServer admits new servers with their own AIDs. Guarded by mu.
 	acls  map[wire.ServerID]wire.AID
 	usage *UsageTable
-	recon      *fragCache
-	readahead  bool
+	recon     *fragCache
+	readahead bool
+	// prefetching dedups async fragment prefetches: a FID present here
+	// has a speculative fetch in flight, so readahead triggers arriving
+	// while it runs don't issue duplicates. Guarded by mu. (Deliberately
+	// NOT the engine's singleflight: a failed speculative flight must
+	// never poison a demand read joined to it.)
+	prefetching map[wire.FID]bool
 
 	// engine is the fragment I/O engine: per-server request queues,
 	// scatter-gather fetch, singleflight, and the store/retry policy.
@@ -177,6 +183,10 @@ type LogStats struct {
 	Checkpoints       int64
 	Reconstructions   int64
 	BroadcastFallback int64
+	// PrefetchedFragments counts whole fragments pulled into the client's
+	// fragment cache by speculative readahead (Prefetch) rather than by a
+	// demand read.
+	PrefetchedFragments int64
 	// DegradedWrites counts fragment stores skipped because the server
 	// was unreachable while the stripe stayed parity-covered; the write
 	// path degrades instead of failing (RebuildServer restores them).
@@ -285,8 +295,9 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		stripeEpochs: make(map[uint64]uint32),
 		acls:         make(map[wire.ServerID]wire.AID, len(cfg.ACLs)),
 		usage:        NewUsageTable(),
-		recon:        newFragCache(max(8, cfg.ReadaheadFragments)),
+		recon:        newFragCache(max(8, 2*cfg.ReadaheadFragments)),
 		readahead:    cfg.ReadaheadFragments > 0,
+		prefetching:  make(map[wire.FID]bool),
 	}
 	for id, aid := range cfg.ACLs {
 		l.acls[id] = aid

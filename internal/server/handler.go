@@ -29,9 +29,19 @@ func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Stat
 		if err := req.Decode(wire.NewDecoder(body)); err != nil {
 			return wire.StatusBadRequest, errMsg(err)
 		}
-		data, err := s.Read(client, req.FID, req.Off, req.Len)
+		data, ext, err := s.ReadExtent(client, req.FID, req.Off, req.Len)
 		if err != nil {
 			return mapErr(err)
+		}
+		if ext != nil {
+			// Zero-copy cached read: the payload aliases the cache
+			// extent and rides to the wire as-is. The transport's
+			// ReleasePayload call (instead of PutBuffer) returns the
+			// response's reference once the frame is written.
+			return wire.StatusOK, &cachedReadResponse{
+				ReadResponse: wire.ReadResponse{Data: data},
+				ext:          ext,
+			}
 		}
 		return wire.StatusOK, &wire.ReadResponse{Data: data}
 
@@ -109,22 +119,41 @@ func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Stat
 	case wire.OpStat:
 		st := s.Stats()
 		return wire.StatusOK, &wire.StatResponse{
-			FragmentSize:   uint32(st.FragmentSize),
-			TotalSlots:     uint32(st.TotalSlots),
-			FreeSlots:      uint32(st.FreeSlots),
-			Fragments:      uint32(st.Fragments),
-			Stores:         uint64(st.Stores),
-			SyncRequests:   uint64(st.SyncRequests),
-			Syncs:          uint64(st.Syncs),
-			EntryBatches:   uint64(st.EntryBatches),
-			EntriesBatched: uint64(st.EntriesBatched),
-			StoreNanos:     uint64(st.StoreNanos),
+			FragmentSize:    uint32(st.FragmentSize),
+			TotalSlots:      uint32(st.TotalSlots),
+			FreeSlots:       uint32(st.FreeSlots),
+			Fragments:       uint32(st.Fragments),
+			Stores:          uint64(st.Stores),
+			SyncRequests:    uint64(st.SyncRequests),
+			Syncs:           uint64(st.Syncs),
+			EntryBatches:    uint64(st.EntryBatches),
+			EntriesBatched:  uint64(st.EntriesBatched),
+			StoreNanos:      uint64(st.StoreNanos),
+			ReadHits:        uint64(st.ReadHits),
+			ReadMisses:      uint64(st.ReadMisses),
+			ReadaheadLoads:  uint64(st.ReadaheadLoads),
+			ReadBytesCached: uint64(st.ReadBytesCached),
+			ReadBytesDisk:   uint64(st.ReadBytesDisk),
+			ReadCacheBytes:  uint64(st.ReadCacheBytes),
 		}
 
 	default:
 		return wire.StatusBadRequest, errMsgStr("unknown op")
 	}
 }
+
+// cachedReadResponse is a ReadResponse whose Data aliases a read-cache
+// extent rather than an exclusively-owned pooled buffer. It implements
+// wire.PayloadReleaser so transports return the reference (possibly
+// recycling the buffer, if the cache has since evicted it) instead of
+// force-recycling a buffer other readers may still be serving from.
+type cachedReadResponse struct {
+	wire.ReadResponse
+	ext *Extent
+}
+
+// ReleasePayload implements wire.PayloadReleaser.
+func (m *cachedReadResponse) ReleasePayload() { m.ext.Release() }
 
 // errBody carries an error string; non-OK responses encode it.
 type errBody struct{ msg string }

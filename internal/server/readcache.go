@@ -1,0 +1,353 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"swarm/internal/wire"
+)
+
+// readCache is the serving tier's fragment extent cache (DESIGN.md
+// §3.13). It holds whole fragment extents keyed by FID so a read-heavy
+// cluster serves its hot set from memory instead of paying a disk pass
+// per request, and it prefetches the fragments following a miss — log
+// reads are sequential by construction, so fragment i's reader usually
+// wants i+1 next.
+//
+// Staleness safety rides on the store's per-slot generation counters:
+// every extent records the (slot, gen) it was filled under, and a lookup
+// only hits when the FID still maps to that slot at that generation. A
+// Delete+Store recycling the slot bumps the generation, so a stale
+// extent can never serve another fragment's bytes; Delete also drops the
+// FID's entry eagerly to free memory.
+//
+// Extent buffers come from the wire buffer pool and flow to the network
+// with zero copies: a cached read's response payload aliases the extent,
+// so the buffer cannot return to the pool until both the cache and every
+// in-flight response are done with it. Each extent carries a reference
+// count — one reference for the cache's residency, one per in-flight
+// response — and the last release recycles the buffer.
+type readCache struct {
+	capBytes int64
+	depth    int // readahead depth in fragments (0 = no readahead)
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	raLoads     atomic.Int64 // extents filled by the readahead worker
+	bytesCached atomic.Int64 // payload bytes served from cache (zero-copy)
+	bytesDisk   atomic.Int64 // bytes read from disk to fill extents
+
+	mu    sync.Mutex
+	bytes int64
+	lru   *list.List // front = most recent; values are *Extent
+	index map[wire.FID]*list.Element
+
+	// raCh feeds the readahead worker the FIDs whose neighbors should be
+	// prefetched. Sends never block: under load, dropping a readahead
+	// hint is strictly better than stalling a foreground read.
+	raCh      chan wire.FID
+	lastSched atomic.Uint64 // last FID handed to the worker (dedup)
+}
+
+// Extent is one cached fragment: the full stored payload plus the
+// identity it was validated against. refs counts the cache's residency
+// reference and every response whose payload aliases buf.
+type Extent struct {
+	fid  wire.FID
+	slot int
+	gen  uint64
+	buf  []byte // pooled; len == the fragment's stored size
+	refs atomic.Int32
+}
+
+// Release drops one reference; the last one returns the pooled buffer.
+func (e *Extent) Release() {
+	if n := e.refs.Add(-1); n == 0 {
+		wire.PutBuffer(e.buf)
+	} else if n < 0 {
+		panic(fmt.Sprintf("server: extent %v over-released", e.fid))
+	}
+}
+
+func newReadCache(capBytes int64, depth int) *readCache {
+	return &readCache{
+		capBytes: capBytes,
+		depth:    depth,
+		lru:      list.New(),
+		index:    make(map[wire.FID]*list.Element),
+		raCh:     make(chan wire.FID, 256),
+	}
+}
+
+// get returns the extent for fid if it is cached AND still describes the
+// live (slot, gen) the caller just resolved under the store mutex. The
+// returned extent carries a reference the caller must release. A stale
+// entry (slot recycled since the fill) is dropped and reported as a miss.
+func (rc *readCache) get(fid wire.FID, slot int, gen uint64) *Extent {
+	rc.mu.Lock()
+	el, ok := rc.index[fid]
+	if !ok {
+		rc.mu.Unlock()
+		return nil
+	}
+	ext := el.Value.(*Extent)
+	if ext.slot != slot || ext.gen != gen {
+		rc.removeLocked(el)
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.lru.MoveToFront(el)
+	ext.refs.Add(1)
+	rc.mu.Unlock()
+	return ext
+}
+
+// insert adds a freshly filled extent, taking ownership of buf (a pooled
+// buffer). It returns the canonical extent for fid with a caller
+// reference held: if a concurrent fill won the race the newcomer's
+// buffer is recycled and the resident entry is returned instead. An
+// extent larger than the whole cache is returned caller-owned without
+// being inserted.
+func (rc *readCache) insert(fid wire.FID, slot int, gen uint64, buf []byte) *Extent {
+	rc.mu.Lock()
+	if el, ok := rc.index[fid]; ok {
+		ext := el.Value.(*Extent)
+		if ext.slot == slot && ext.gen == gen {
+			ext.refs.Add(1)
+			rc.lru.MoveToFront(el)
+			rc.mu.Unlock()
+			wire.PutBuffer(buf)
+			return ext
+		}
+		rc.removeLocked(el) // recycled slot: the resident entry is stale
+	}
+	ext := &Extent{fid: fid, slot: slot, gen: gen, buf: buf}
+	if int64(len(buf)) > rc.capBytes {
+		ext.refs.Store(1) // caller only; too big to keep
+		rc.mu.Unlock()
+		return ext
+	}
+	ext.refs.Store(2) // cache residency + caller
+	rc.index[fid] = rc.lru.PushFront(ext)
+	rc.bytes += int64(len(buf))
+	rc.evictLocked()
+	rc.mu.Unlock()
+	return ext
+}
+
+// fill adds a speculative (readahead) extent nobody is waiting for: the
+// cache holds the only reference. Oversized extents are rejected.
+func (rc *readCache) fill(fid wire.FID, slot int, gen uint64, buf []byte) {
+	ext := rc.insert(fid, slot, gen, buf)
+	ext.Release() // drop the caller reference insert handed us
+}
+
+// contains reports whether fid has a live entry for (slot, gen) — the
+// readahead worker's cheap "already done" check.
+func (rc *readCache) contains(fid wire.FID, slot int, gen uint64) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.index[fid]
+	if !ok {
+		return false
+	}
+	ext := el.Value.(*Extent)
+	return ext.slot == slot && ext.gen == gen
+}
+
+// invalidate eagerly drops fid's entry (Delete's belt; the generation
+// check is the braces).
+func (rc *readCache) invalidate(fid wire.FID) {
+	rc.mu.Lock()
+	if el, ok := rc.index[fid]; ok {
+		rc.removeLocked(el)
+	}
+	rc.mu.Unlock()
+}
+
+// removeLocked unlinks an entry and drops the cache's reference; readers
+// still holding the extent keep it alive until their responses drain.
+func (rc *readCache) removeLocked(el *list.Element) {
+	ext := el.Value.(*Extent)
+	rc.lru.Remove(el)
+	delete(rc.index, ext.fid)
+	rc.bytes -= int64(len(ext.buf))
+	ext.Release()
+}
+
+func (rc *readCache) evictLocked() {
+	for rc.bytes > rc.capBytes && rc.lru.Len() > 0 {
+		rc.removeLocked(rc.lru.Back())
+	}
+}
+
+// schedule hands fid to the readahead worker. Never blocks; duplicate
+// back-to-back hints and full queues are dropped.
+func (rc *readCache) schedule(fid wire.FID) {
+	if rc.depth <= 0 || rc.lastSched.Swap(uint64(fid)) == uint64(fid) {
+		return
+	}
+	select {
+	case rc.raCh <- fid:
+	default:
+	}
+}
+
+// curBytes returns current occupancy.
+func (rc *readCache) curBytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytes
+}
+
+// DefaultReadCacheBytes sizes the serving-tier extent cache when the
+// caller doesn't.
+const DefaultReadCacheBytes = 64 << 20
+
+// DefaultReadahead is the default readahead depth in fragments.
+const DefaultReadahead = 4
+
+// SetReadCache enables the serving-tier extent cache: reads are answered
+// from (and fill) an LRU of whole fragment extents bounded by capBytes,
+// and a miss on fragment i prefetches the next depth fragments of the
+// same log off the same disk pass (depth 0 disables readahead). Call it
+// once, before serving traffic; passing capBytes <= 0 leaves the cache
+// disabled.
+func (s *Store) SetReadCache(capBytes int64, depth int) {
+	if capBytes <= 0 {
+		return
+	}
+	s.rcache = newReadCache(capBytes, depth)
+	if depth > 0 {
+		// The worker parks on the channel for the store's lifetime;
+		// stores live as long as their server process.
+		go s.readaheadWorker(s.rcache)
+	}
+}
+
+// readExtent is the cached read path: resolve fid under the metadata
+// lock, serve from the extent cache when the (slot, gen) identity still
+// holds, otherwise fill the whole extent from disk — outside any lock —
+// and revalidate before caching. The returned data aliases the extent's
+// pooled buffer; the caller must release the extent exactly once after
+// the bytes are on the wire (or copied). Range and ACL checks happen on
+// every request, cached or not, so readahead never bypasses access
+// control.
+func (s *Store) readExtent(rc *readCache, client wire.ClientID, fid wire.FID, off, n uint32) ([]byte, *Extent, error) {
+	for {
+		s.mu.RLock()
+		slot, ok := s.bySID[fid]
+		if !ok || s.slots[slot].prealloc() {
+			s.mu.RUnlock()
+			return nil, nil, fmt.Errorf("%w: %v", ErrNotFound, fid)
+		}
+		ent := s.slots[slot]
+		if off+n > ent.size || off+n < off {
+			s.mu.RUnlock()
+			return nil, nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, off, off+n, ent.size)
+		}
+		if err := s.checkAccess(&ent, client, off, n); err != nil {
+			s.mu.RUnlock()
+			return nil, nil, err
+		}
+		gen := s.gen[slot]
+		dataOff := s.slotOff(slot)
+		s.mu.RUnlock()
+
+		if ext := rc.get(fid, slot, gen); ext != nil {
+			rc.hits.Add(1)
+			rc.bytesCached.Add(int64(n))
+			rc.schedule(fid)
+			return ext.buf[off : off+n : off+n], ext, nil
+		}
+		rc.misses.Add(1)
+
+		// Miss: one disk pass loads the whole extent, so the sibling
+		// header probe and the payload fetch that follow it — and every
+		// later reader of this fragment — hit.
+		buf := wire.GetBuffer(int(ent.size))
+		if err := s.d.ReadAt(buf, dataOff); err != nil {
+			wire.PutBuffer(buf)
+			return nil, nil, fmt.Errorf("read fragment data: %w", err)
+		}
+		rc.bytesDisk.Add(int64(ent.size))
+		// Same revalidation as the uncached path (see Store.Read): the
+		// lock was dropped across the disk read, so the slot may have
+		// been recycled mid-read. Never cache — or serve — such bytes.
+		s.mu.RLock()
+		cur, ok := s.bySID[fid]
+		valid := ok && cur == slot && s.gen[slot] == gen
+		s.mu.RUnlock()
+		if !valid {
+			wire.PutBuffer(buf)
+			continue
+		}
+		ext := rc.insert(fid, slot, gen, buf)
+		rc.schedule(fid)
+		return ext.buf[off : off+n : off+n], ext, nil
+	}
+}
+
+// readaheadWorker serves the prefetch queue: for each scheduled FID it
+// loads the next depth fragments of the same client log into the cache.
+// All disk reads happen outside the store mutex, through the same
+// fill-and-revalidate protocol as foreground misses.
+func (s *Store) readaheadWorker(rc *readCache) {
+	for fid := range rc.raCh {
+		for i := uint64(1); i <= uint64(rc.depth); i++ {
+			s.prefetchExtent(rc, wire.MakeFID(fid.Client(), fid.Seq()+i))
+		}
+	}
+}
+
+// prefetchExtent speculatively loads one fragment into the cache.
+// Absent fragments (this server doesn't hold every member of a stripe)
+// and races with Delete are silently skipped — readahead is advisory.
+func (s *Store) prefetchExtent(rc *readCache, fid wire.FID) {
+	s.mu.RLock()
+	slot, ok := s.bySID[fid]
+	if !ok || s.slots[slot].prealloc() {
+		s.mu.RUnlock()
+		return
+	}
+	size := s.slots[slot].size
+	gen := s.gen[slot]
+	dataOff := s.slotOff(slot)
+	s.mu.RUnlock()
+
+	if rc.contains(fid, slot, gen) {
+		return
+	}
+	buf := wire.GetBuffer(int(size))
+	if err := s.d.ReadAt(buf, dataOff); err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	s.mu.RLock()
+	cur, ok := s.bySID[fid]
+	valid := ok && cur == slot && s.gen[slot] == gen
+	s.mu.RUnlock()
+	if !valid {
+		wire.PutBuffer(buf)
+		return
+	}
+	rc.bytesDisk.Add(int64(size))
+	rc.raLoads.Add(1)
+	rc.fill(fid, slot, gen, buf)
+}
+
+// ReadExtent is Read with the serving tier in front: when the extent
+// cache is enabled the returned bytes alias a cached extent and the
+// second return value carries the reference the caller must release
+// once the payload has been written or copied. With the cache disabled
+// it behaves exactly like Read (pooled buffer, nil extent).
+func (s *Store) ReadExtent(client wire.ClientID, fid wire.FID, off, n uint32) ([]byte, *Extent, error) {
+	rc := s.rcache
+	if rc == nil {
+		data, err := s.Read(client, fid, off, n)
+		return data, nil, err
+	}
+	return s.readExtent(rc, client, fid, off, n)
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"swarm/internal/wire"
+)
+
+func newCachedStore(t *testing.T, slots int, capBytes int64, depth int) *Store {
+	t.Helper()
+	s, _ := newTestStore(t, slots)
+	s.SetReadCache(capBytes, depth)
+	return s
+}
+
+func TestReadExtentHitAliasesCachedBuffer(t *testing.T) {
+	s := newCachedStore(t, 8, 1<<20, 0)
+	fid := wire.MakeFID(1, 0)
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	if err := s.Store(fid, data, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	d1, e1, err := s.ReadExtent(1, fid, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == nil {
+		t.Fatal("cache enabled but extent is nil")
+	}
+	if !bytes.Equal(d1, data) {
+		t.Fatal("miss data mismatch")
+	}
+	d2, e2, err := s.ReadExtent(1, fid, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d2, data) {
+		t.Fatal("hit data mismatch")
+	}
+	// The zero-copy claim, concretely: both reads alias one backing array.
+	if &d1[0] != &d2[0] {
+		t.Fatal("hit did not alias the cached extent (payload was copied)")
+	}
+	// Partial reads subslice the same extent.
+	d3, e3, err := s.ReadExtent(1, fid, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d3, data[100:150]) {
+		t.Fatal("partial hit mismatch")
+	}
+	if &d3[0] != &d2[100] {
+		t.Fatal("partial hit did not alias the cached extent")
+	}
+	e1.Release()
+	e2.Release()
+	e3.Release()
+
+	st := s.Stats()
+	if st.ReadMisses != 1 || st.ReadHits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", st.ReadHits, st.ReadMisses)
+	}
+	if st.ReadBytesCached != 1050 {
+		t.Fatalf("bytes served from cache = %d, want 1050", st.ReadBytesCached)
+	}
+}
+
+// TestReadExtentGenerationGuard is the slot-recycling invariant: after a
+// fragment is deleted and its slot restored to a NEW fragment, the cache
+// must never serve the old bytes — for either FID.
+func TestReadExtentGenerationGuard(t *testing.T) {
+	// Single-slot store: the new fragment must recycle the old one's slot.
+	s := newCachedStore(t, 1, 1<<20, 0)
+	oldFID := wire.MakeFID(1, 0)
+	oldData := bytes.Repeat([]byte{0x01}, 512)
+	if err := s.Store(oldFID, oldData, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the cache with the old fragment.
+	if _, ext, err := s.ReadExtent(1, oldFID, 0, 512); err != nil {
+		t.Fatal(err)
+	} else {
+		ext.Release()
+	}
+	if err := s.Delete(1, oldFID); err != nil {
+		t.Fatal(err)
+	}
+	newFID := wire.MakeFID(1, 7)
+	newData := bytes.Repeat([]byte{0x02}, 512)
+	if err := s.Store(newFID, newData, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deleted FID must be gone, not served from cache.
+	if _, _, err := s.ReadExtent(1, oldFID, 0, 512); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted fragment read: %v, want ErrNotFound", err)
+	}
+	// The recycled slot's new fragment must serve ITS bytes.
+	got, ext, err := s.ReadExtent(1, newFID, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("recycled slot served stale bytes")
+	}
+	ext.Release()
+}
+
+// TestReadExtentZeroCopyAllocs pins the warm cached-read path at zero
+// heap allocations: a hit returns a subslice of the resident extent —
+// no payload copy, no per-request buffers.
+func TestReadExtentZeroCopyAllocs(t *testing.T) {
+	s := newCachedStore(t, 8, 1<<20, 0)
+	fid := wire.MakeFID(1, 0)
+	data := bytes.Repeat([]byte{0xCD}, 2048)
+	if err := s.Store(fid, data, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ext, err := s.ReadExtent(1, fid, 0, 2048); err != nil {
+		t.Fatal(err)
+	} else {
+		ext.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, ext, err := s.ReadExtent(1, fid, 0, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("cached read allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReadaheadPrefetchesNeighbors: a read of fragment i pulls i+1..i+d
+// into the cache off the background worker.
+func TestReadaheadPrefetchesNeighbors(t *testing.T) {
+	s := newCachedStore(t, 8, 1<<20, 2)
+	data := bytes.Repeat([]byte{0x11}, 256)
+	for seq := uint64(0); seq < 4; seq++ {
+		if err := s.Store(wire.MakeFID(1, seq), data, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ext, err := s.ReadExtent(1, wire.MakeFID(1, 0), 0, 256); err != nil {
+		t.Fatal(err)
+	} else {
+		ext.Release()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.Stats().ReadaheadLoads >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readahead loads = %d after 2s, want 2", s.Stats().ReadaheadLoads)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The prefetched neighbors now hit without touching the disk counter.
+	diskBefore := s.Stats().ReadBytesDisk
+	for seq := uint64(1); seq <= 2; seq++ {
+		got, ext, err := s.ReadExtent(1, wire.MakeFID(1, seq), 0, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("prefetched fragment %d mismatch", seq)
+		}
+		ext.Release()
+	}
+	if got := s.Stats().ReadBytesDisk; got != diskBefore {
+		t.Fatalf("reads of prefetched fragments went to disk (%d -> %d bytes)", diskBefore, got)
+	}
+}
+
+// TestReadCacheEvictionBound: occupancy never exceeds the configured
+// capacity, and evicted extents stop hitting.
+func TestReadCacheEvictionBound(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	// Room for two 1000-byte extents.
+	s.SetReadCache(2500, 0)
+	data := bytes.Repeat([]byte{0x33}, 1000)
+	for seq := uint64(0); seq < 4; seq++ {
+		if err := s.Store(wire.MakeFID(1, seq), data, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, ext, err := s.ReadExtent(1, wire.MakeFID(1, seq), 0, 1000); err != nil {
+			t.Fatal(err)
+		} else {
+			ext.Release()
+		}
+		if cur := s.rcache.curBytes(); cur > 2500 {
+			t.Fatalf("cache occupancy %d exceeds cap 2500", cur)
+		}
+	}
+	st := s.Stats()
+	if st.ReadCacheBytes > 2500 {
+		t.Fatalf("stats occupancy %d exceeds cap", st.ReadCacheBytes)
+	}
+	// The first fragment was evicted: rereading it is a miss.
+	missesBefore := st.ReadMisses
+	if _, ext, err := s.ReadExtent(1, wire.MakeFID(1, 0), 0, 1000); err != nil {
+		t.Fatal(err)
+	} else {
+		ext.Release()
+	}
+	if got := s.Stats().ReadMisses; got != missesBefore+1 {
+		t.Fatal("evicted extent served as a hit")
+	}
+}
+
+// TestReadExtentDisabledFallsBack: without SetReadCache, ReadExtent is
+// exactly Read — pooled buffer, nil extent, no counters.
+func TestReadExtentDisabledFallsBack(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	fid := wire.MakeFID(1, 0)
+	data := bytes.Repeat([]byte{0x44}, 300)
+	if err := s.Store(fid, data, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ext, err := s.ReadExtent(1, fid, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext != nil {
+		t.Fatal("disabled cache returned an extent")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fallback read mismatch")
+	}
+	if st := s.Stats(); st.ReadHits+st.ReadMisses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st)
+	}
+}
+
+// TestExtentRefcountLifecycle: an extent evicted while a response is in
+// flight stays valid until that response releases it.
+func TestExtentRefcountLifecycle(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	s.SetReadCache(1200, 0) // exactly one 1000-byte extent resident
+	data0 := bytes.Repeat([]byte{0x55}, 1000)
+	data1 := bytes.Repeat([]byte{0x66}, 1000)
+	if err := s.Store(wire.MakeFID(1, 0), data0, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(wire.MakeFID(1, 1), data1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Hold fragment 0's extent as an in-flight response would.
+	held, ext0, err := s.ReadExtent(1, wire.MakeFID(1, 0), 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading fragment 1 evicts fragment 0 from the cache.
+	if _, ext1, err := s.ReadExtent(1, wire.MakeFID(1, 1), 0, 1000); err != nil {
+		t.Fatal(err)
+	} else {
+		ext1.Release()
+	}
+	// The held payload is still intact: eviction dropped the cache's
+	// reference, not ours.
+	if !bytes.Equal(held, data0) {
+		t.Fatal("held extent corrupted by eviction")
+	}
+	ext0.Release() // last reference; buffer returns to the pool
+}

@@ -160,6 +160,10 @@ type Store struct {
 	storeNanos  atomic.Int64 // cumulative wall time of committed stores
 	serialSyncs atomic.Int64 // private fsyncs issued by the serial baseline path
 
+	// rcache is the serving-tier extent read cache (nil = disabled).
+	// Set once by SetReadCache before traffic; see readcache.go.
+	rcache *readCache
+
 	acls *ACLDB
 }
 
@@ -580,6 +584,11 @@ func (s *Store) Delete(client wire.ClientID, fid wire.FID) error {
 	delete(s.bySID, fid)
 	s.gen[slot]++ // invalidate in-flight lockless reads of this slot
 	s.free = append(s.free, slot)
+	// The generation bump already fences the read cache; dropping the
+	// entry eagerly just frees its memory sooner.
+	if rc := s.rcache; rc != nil {
+		rc.invalidate(fid)
+	}
 	return nil
 }
 
@@ -671,6 +680,24 @@ type Stats struct {
 	EntryBatches   int64 // batched slot-entry commit rounds
 	EntriesBatched int64 // slot entries written across those rounds
 	StoreNanos     int64 // cumulative wall time of committed stores
+
+	// Read-path counters (all zero while the serving-tier extent cache
+	// is disabled), cumulative since open.
+	ReadHits        int64 // reads served from the extent cache
+	ReadMisses      int64 // reads that had to fill from disk
+	ReadaheadLoads  int64 // extents prefetched by the readahead worker
+	ReadBytesCached int64 // payload bytes served zero-copy from cache
+	ReadBytesDisk   int64 // bytes read from disk to fill extents
+	ReadCacheBytes  int64 // current extent cache occupancy
+}
+
+// ReadHitRate is the fraction of cached-path reads served from memory.
+func (st Stats) ReadHitRate() float64 {
+	total := st.ReadHits + st.ReadMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.ReadHits) / float64(total)
 }
 
 // CoalescedSyncs is how many sync barriers were satisfied by another
@@ -717,8 +744,7 @@ func (s *Store) Stats() Stats {
 	batches, entries := s.entries.counters()
 	serial := s.serialSyncs.Load()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		FragmentSize: s.fragSize,
 		TotalSlots:   s.numSlots,
 		FreeSlots:    len(s.free),
@@ -731,4 +757,14 @@ func (s *Store) Stats() Stats {
 		EntriesBatched: entries,
 		StoreNanos:     s.storeNanos.Load(),
 	}
+	s.mu.RUnlock()
+	if rc := s.rcache; rc != nil {
+		st.ReadHits = rc.hits.Load()
+		st.ReadMisses = rc.misses.Load()
+		st.ReadaheadLoads = rc.raLoads.Load()
+		st.ReadBytesCached = rc.bytesCached.Load()
+		st.ReadBytesDisk = rc.bytesDisk.Load()
+		st.ReadCacheBytes = rc.curBytes()
+	}
+	return st
 }

@@ -165,12 +165,17 @@ func (s *TCPServer) handleRequest(conn net.Conn, cw *connWriter, req *wire.Reque
 	werr := cw.write(status, req.Op, req.ID, msg, ErrText(msg))
 	// The request body (and for store ops the fragment payload aliasing
 	// it) is dead once Handle returned; a ReadResponse payload is dead
-	// once the response frame is on the wire. Both came from the buffer
-	// pool, so recycle them.
+	// once the response frame is on the wire. Recycle the exclusively
+	// owned pooled buffers; a reference-counted payload (a read-cache
+	// extent spliced zero-copy into the frame) instead has its reference
+	// released — the cache may still be serving it to other readers.
 	wire.PutBuffer(req.Body)
 	if status == wire.StatusOK {
-		if pm, ok := msg.(wire.PayloadMessage); ok {
-			wire.PutBuffer(pm.Payload())
+		switch m := msg.(type) {
+		case wire.PayloadReleaser:
+			m.ReleasePayload()
+		case wire.PayloadMessage:
+			wire.PutBuffer(m.Payload())
 		}
 	}
 	if werr != nil && !cw.failed.Swap(true) {

@@ -34,6 +34,19 @@ type PayloadMessage interface {
 	Payload() []byte
 }
 
+// PayloadReleaser is implemented by responses whose payload aliases a
+// shared, reference-counted buffer (a server read-cache extent) instead
+// of an exclusively-owned pooled buffer. After the payload has been
+// written to the wire or copied, transports must call ReleasePayload
+// exactly once INSTEAD of PutBuffer(Payload()): the implementation drops
+// its reference, and the buffer is recycled only when the last holder
+// lets go. The bufpool ownership rules (DESIGN.md §7) treat a
+// ReleasePayload call as the buffer's disposal.
+type PayloadReleaser interface {
+	// ReleasePayload releases the response's reference on the payload.
+	ReleasePayload()
+}
+
 func finish(d *Decoder) error {
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadMessage, err)
@@ -424,6 +437,17 @@ type StatResponse struct {
 	EntryBatches   uint64
 	EntriesBatched uint64
 	StoreNanos     uint64
+
+	// Read-path counters (the serving-tier extent cache; all zero when
+	// it is disabled): cache hits and fills, readahead prefetches, bytes
+	// served zero-copy from memory vs read from disk, and current cache
+	// occupancy.
+	ReadHits        uint64
+	ReadMisses      uint64
+	ReadaheadLoads  uint64
+	ReadBytesCached uint64
+	ReadBytesDisk   uint64
+	ReadCacheBytes  uint64
 }
 
 // Encode implements Message.
@@ -438,6 +462,12 @@ func (m *StatResponse) Encode(e *Encoder) {
 	e.U64(m.EntryBatches)
 	e.U64(m.EntriesBatched)
 	e.U64(m.StoreNanos)
+	e.U64(m.ReadHits)
+	e.U64(m.ReadMisses)
+	e.U64(m.ReadaheadLoads)
+	e.U64(m.ReadBytesCached)
+	e.U64(m.ReadBytesDisk)
+	e.U64(m.ReadCacheBytes)
 }
 
 // Decode implements Message.
@@ -452,5 +482,11 @@ func (m *StatResponse) Decode(d *Decoder) error {
 	m.EntryBatches = d.U64()
 	m.EntriesBatched = d.U64()
 	m.StoreNanos = d.U64()
+	m.ReadHits = d.U64()
+	m.ReadMisses = d.U64()
+	m.ReadaheadLoads = d.U64()
+	m.ReadBytesCached = d.U64()
+	m.ReadBytesDisk = d.U64()
+	m.ReadCacheBytes = d.U64()
 	return finish(d)
 }

@@ -31,6 +31,14 @@ type ServerOptions struct {
 	// Zero (the default, right for fast local disks) coalesces only
 	// opportunistically; see README, "Tuning the coalescing window".
 	CommitDelay time.Duration
+	// ReadCacheBytes sizes the server's fragment-extent read cache
+	// (DESIGN.md §3.13). Zero uses the default (64 MB); negative
+	// disables caching entirely.
+	ReadCacheBytes int64
+	// ReadaheadFragments is how many upcoming fragments a cache hit
+	// prefetches off the same disk pass. Zero uses the default (4);
+	// negative disables readahead.
+	ReadaheadFragments int
 }
 
 // Server is one Swarm storage server: a fragment repository on a disk,
@@ -73,6 +81,20 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	if opts.CommitDelay > 0 {
 		st.SetCommitDelay(opts.CommitDelay)
+	}
+	cacheBytes := opts.ReadCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = server.DefaultReadCacheBytes
+	}
+	readahead := opts.ReadaheadFragments
+	if readahead == 0 {
+		readahead = server.DefaultReadahead
+	}
+	if readahead < 0 {
+		readahead = 0
+	}
+	if cacheBytes > 0 {
+		st.SetReadCache(cacheBytes, readahead)
 	}
 	s := &Server{store: st, d: d}
 	if opts.Listen != "" {
