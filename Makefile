@@ -60,7 +60,7 @@ bench-strict:
 # DESIGN.md §3.13) runs as CI smoke checks. Shape only by default; set
 # SWARM_BENCH_STRICT=1 to also assert the >= 2x speedup ratios.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure|TestRebalance|TestReadpath' ./internal/bench
+	$(GO) test -count=1 -run 'TestWirepath|TestServercommit|TestErasure|TestRebalance|TestReadpath|TestQoS' ./internal/bench
 
 # Short fuzzing pass over the wire codecs and the erasure coder (not
 # part of ci: fuzzing is open-ended by nature; run it before touching

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"swarm/internal/server"
 	"swarm/internal/transport"
+	"swarm/internal/wire"
 )
 
 // chaosCluster builds n in-process servers reached through
@@ -648,5 +650,236 @@ func TestChaosRSDoubleFailure(t *testing.T) {
 		if err := c.Log().VerifyStripe(s); err != nil {
 			t.Fatalf("stripe %d fails verification after rebuild: %v", s, err)
 		}
+	}
+}
+
+// TestChaosQoSIsolationUnderFailure is the QoS chaos run: a greedy
+// tenant hammers raw fragment stores through small admission bounds
+// (provoking StatusBusy sheds and client busy-retries) while a light
+// tenant runs its full striped-log workload — and mid-run a server is
+// killed, restored, and rebuilt. The assertions are the QoS tier's
+// safety and liveness story: the light tenant completes every phase
+// under sustained overload (no starvation — a stall here hangs the
+// test), nothing either tenant wrote is lost, sheds really happened,
+// and shed requests were retried to success rather than surfacing.
+func TestChaosQoSIsolationUnderFailure(t *testing.T) {
+	const (
+		nServers      = 3
+		blockSize     = 2048
+		lightID       = ClientID(1)
+		greedyID      = ClientID(2)
+		greedyWriters = 6
+	)
+	cfg := transport.ResilientConfig{
+		MaxRetries:    2,
+		RetryBase:     200 * time.Microsecond,
+		RetryMax:      2 * time.Millisecond,
+		BusyRetries:   12,
+		FailThreshold: 3,
+		OpenTimeout:   40 * time.Millisecond,
+		Seed:          11,
+	}
+	qos := server.QoSConfig{
+		Slots:   1,
+		Quantum: 16 << 10,
+		Classes: map[wire.ClientID]server.ClassConfig{
+			lightID:  {Weight: 8},
+			greedyID: {Weight: 1, MaxQueuedOps: 1},
+		},
+	}
+
+	// Servers with the QoS tier on; separate fault-injection layers per
+	// principal (the transports are per-client) that are killed together.
+	servers := make([]*Server, nServers)
+	lightFlaky := make([]*transport.Flaky, nServers)
+	greedyFlaky := make([]*transport.Flaky, nServers)
+	lightConns := make([]transport.ServerConn, nServers)
+	for i := 0; i < nServers; i++ {
+		s, err := NewServer(ServerOptions{DiskBytes: 64 << 20, FragmentSize: 16 << 10, QoS: &qos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		servers[i] = s
+		lightFlaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, lightID))
+		greedyFlaky[i] = transport.NewFlaky(transport.NewLocal(ServerID(i+1), s.store, greedyID))
+		lightConns[i] = transport.NewResilient(lightFlaky[i], cfg)
+	}
+	setDown := func(i int, down bool) {
+		lightFlaky[i].SetDown(down)
+		greedyFlaky[i].SetDown(down)
+	}
+
+	// Each greedy writer gets its own resilient conns (own breaker and
+	// backoff stream) over the shared per-server fault layer.
+	greedyConns := make([][]transport.ServerConn, greedyWriters)
+	for w := range greedyConns {
+		greedyConns[w] = make([]transport.ServerConn, nServers)
+		for i := range greedyConns[w] {
+			wcfg := cfg
+			wcfg.Seed = int64(100 + w*nServers + i)
+			greedyConns[w][i] = transport.NewResilient(greedyFlaky[i], wcfg)
+		}
+	}
+
+	c, err := connect(lightID, lightConns, ClientOptions{FragmentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d, err := c.NewLogicalDisk(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	content := make(map[uint64]int) // light tenant: lbn → latest version
+	greedyStored := make([]map[FID][]byte, greedyWriters)
+	for w := range greedyStored {
+		greedyStored[w] = make(map[FID][]byte)
+	}
+	var greedySeq uint64 // strictly increasing FID sequence per writer ×1e6
+
+	// phase runs the light tenant's fixed workload (writes + sync +
+	// read-verify) against sustained greedy overload; the greedy loops
+	// only stop once the light tenant finishes, so phase completion IS
+	// the starvation check.
+	version := 1
+	phase := func(stage string) {
+		t.Helper()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < greedyWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(version*100 + w)))
+				base := atomic.AddUint64(&greedySeq, 1) << 20
+				for n := uint64(0); ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					si := rng.Intn(nServers)
+					fid := wire.MakeFID(greedyID, base+n)
+					body := chaosBlock(uint64(fid), w, 1024)
+					err := greedyConns[w][si].Store(fid, body, false, nil)
+					switch {
+					case err == nil, wire.IsStatus(err, wire.StatusExists):
+						greedyStored[w][fid] = body
+					default:
+						// Dead server or exhausted busy budget: the
+						// request was not served; the writer moves on.
+					}
+				}
+			}(w)
+		}
+		for i := 0; i < 32; i++ {
+			lbn := uint64(i)
+			if err := d.Write(lbn, chaosBlock(lbn, version, blockSize)); err != nil {
+				t.Errorf("%s: light write %d: %v", stage, lbn, err)
+			}
+			content[lbn] = version
+		}
+		if err := d.Sync(); err != nil {
+			t.Errorf("%s: light sync: %v", stage, err)
+		}
+		for lbn, v := range content {
+			got, err := d.Read(lbn)
+			if err != nil {
+				t.Errorf("%s: light read %d: %v", stage, lbn, err)
+			} else if !bytes.Equal(got, chaosBlock(lbn, v, blockSize)) {
+				t.Errorf("%s: light block %d corrupt", stage, lbn)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		version++
+	}
+
+	phase("healthy overload")
+
+	// Kill a server mid-overload; the light tenant must still complete
+	// (degraded writes), then restore and rebuild it.
+	const victim = 1
+	setDown(victim, true)
+	phase("server down")
+	setDown(victim, false)
+	time.Sleep(3 * cfg.OpenTimeout)
+	if _, err := c.RebuildServer(ServerID(victim + 1)); err != nil {
+		t.Fatalf("rebuild server %d: %v", victim+1, err)
+	}
+
+	phase("after rebuild")
+
+	// Zero data loss, both tenants. The light tenant re-verifies through
+	// its log; every fragment a greedy writer recorded as stored must
+	// read back intact from whichever server accepted it.
+	for lbn, v := range content {
+		got, err := d.Read(lbn)
+		if err != nil {
+			t.Fatalf("final light read %d: %v", lbn, err)
+		}
+		if !bytes.Equal(got, chaosBlock(lbn, v, blockSize)) {
+			t.Fatalf("final: light block %d corrupt", lbn)
+		}
+	}
+	verify := make([]transport.ServerConn, nServers)
+	for i := range verify {
+		vcfg := cfg
+		vcfg.Seed = int64(1000 + i)
+		verify[i] = transport.NewResilient(greedyFlaky[i], vcfg)
+	}
+	verified := 0
+	for w := range greedyStored {
+		for fid, want := range greedyStored[w] {
+			var got []byte
+			var rerr error
+			for i := 0; i < nServers; i++ {
+				if got, rerr = verify[i].Read(fid, 0, uint32(len(want))); rerr == nil {
+					break
+				}
+			}
+			if rerr != nil {
+				t.Fatalf("greedy fragment %v lost: %v", fid, rerr)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("greedy fragment %v corrupt", fid)
+			}
+			verified++
+		}
+	}
+	if verified == 0 {
+		t.Fatal("greedy tenant recorded no stored fragments; overload never ran")
+	}
+
+	// The QoS tier must actually have engaged: admission shed greedy
+	// requests, clients retried them (busy retries, breaker untouched by
+	// sheds), and the servers account both tenants.
+	var sheds, lightOps uint64
+	for _, s := range servers {
+		for _, tn := range s.store.Stats().Tenants {
+			switch tn.Client {
+			case greedyID:
+				sheds += tn.Sheds
+			case lightID:
+				lightOps += tn.Ops
+			}
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("no greedy sheds: overload never tripped admission control")
+	}
+	if lightOps == 0 {
+		t.Fatal("servers did not account the light tenant")
+	}
+	var busy int64
+	for w := range greedyConns {
+		for _, h := range transport.HealthOf(greedyConns[w]) {
+			busy += h.Busy
+		}
+	}
+	if busy == 0 {
+		t.Fatal("sheds observed server-side but no client busy-retries")
 	}
 }

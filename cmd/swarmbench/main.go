@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, qos, all")
 		scale   = flag.Float64("scale", 10, "hardware speedup factor (1 = real-time 1999 rates)")
 		blocks  = flag.Int("blocks", 10000, "blocks per client for write benchmarks (paper: 10000)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable results (BENCH_*.json)")
@@ -196,6 +196,21 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return nil
 	}
 
+	runQoS := func() error {
+		rows, err := bench.RunQoS(bench.QoSBenchConfig{Scale: scale * 2.5}, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintQoSResults(os.Stdout, rows)
+		if jsonOut {
+			if err := bench.WriteQoSJSON("BENCH_qos.json", rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_qos.json")
+		}
+		return nil
+	}
+
 	switch fig {
 	case "3":
 		return runFig3()
@@ -219,14 +234,16 @@ func run(fig string, scale float64, blocks int, jsonOut, verbose bool) error {
 		return runRebalance()
 	case "readpath":
 		return runReadpath()
+	case "qos":
+		return runQoS()
 	case "all":
-		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure, runRebalance, runReadpath} {
+		for _, f := range []func() error{runFig3, runFig4, runFig5, runRead, runAblate, runRecon, runWirepath, runServercommit, runErasure, runRebalance, runReadpath, runQoS} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, all)", fig)
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5, read, ablate, recon, wirepath, servercommit, erasure, rebalance, readpath, qos, all)", fig)
 	}
 }

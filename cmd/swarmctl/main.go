@@ -101,6 +101,16 @@ func run(addrs []string, client wire.ClientID, opts swarm.ClientOptions, args []
 					reads, 100*float64(st.ReadHits)/float64(reads), st.ReadaheadLoads,
 					st.ReadBytesCached>>20, st.ReadBytesDisk>>20, st.ReadCacheBytes>>20)
 			}
+			for _, tn := range st.Tenants {
+				name := fmt.Sprintf("client %d", tn.Client)
+				if tn.Client == 0 {
+					name = "anonymous"
+				}
+				fmt.Printf("  tenant %s: weight %d, %d ops / %d MB served, %d shed, %d queued (%d KB), p50 %v p99 %v\n",
+					name, tn.Weight, tn.Ops, tn.Bytes>>20, tn.Sheds, tn.Queued, tn.QueuedBytes>>10,
+					time.Duration(tn.P50Micros)*time.Microsecond,
+					time.Duration(tn.P99Micros)*time.Microsecond)
+			}
 		}
 		return nil
 
@@ -220,8 +230,8 @@ func run(addrs []string, client wire.ClientID, opts swarm.ClientOptions, args []
 			if i < len(addrs) {
 				addr = strings.TrimSpace(addrs[i])
 			}
-			fmt.Printf("server %d (%s): circuit %s, %d ops, %d failures (%d consecutive), %d retries, %d trips, %d fast-fails\n",
-				h.Server, addr, h.State, h.Ops, h.Failures, h.ConsecutiveFailures, h.Retries, h.Trips, h.FastFails)
+			fmt.Printf("server %d (%s): circuit %s, %d ops, %d failures (%d consecutive), %d retries, %d busy sheds, %d trips, %d fast-fails\n",
+				h.Server, addr, h.State, h.Ops, h.Failures, h.ConsecutiveFailures, h.Retries, h.Busy, h.Trips, h.FastFails)
 		}
 		st := c.Log().Stats()
 		fmt.Printf("log: %d degraded writes in %d stripes, %d preallocs skipped, %d deletes deferred\n",

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"swarm"
+	"swarm/internal/server"
 )
 
 func main() {
@@ -35,20 +36,35 @@ func main() {
 			"read cache size in bytes (0 = default 64 MB, negative = disabled)")
 		readahead = flag.Int("readahead", 0,
 			"fragments prefetched per cache hit (0 = default 4, negative = disabled)")
+		qos = flag.Bool("qos", false,
+			"enable the multi-tenant weighted-fair scheduler (off = FIFO; see README on multi-tenant tuning)")
+		qosWeights = flag.String("qos-weights", "",
+			`per-tenant fair-share weights, e.g. "default=1,7=4" (implies -qos)`)
+		qosQuota = flag.String("qos-quota", "",
+			`per-tenant quotas as client=byterate[:oprate], e.g. "7=8M:200,default=1M" (implies -qos)`)
 	)
 	flag.Parse()
-	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse, *commitDelay, *readCache, *readahead); err != nil {
+	if err := run(*listen, *diskPath, *mem, *size, *fragSize, *reuse, *commitDelay, *readCache, *readahead,
+		*qos, *qosWeights, *qosQuota); err != nil {
 		fmt.Fprintln(os.Stderr, "swarmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool, commitDelay time.Duration, readCache int64, readahead int) error {
+func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool, commitDelay time.Duration, readCache int64, readahead int, qos bool, qosWeights, qosQuota string) error {
 	if !mem && diskPath == "" {
 		return fmt.Errorf("need -disk PATH or -mem")
 	}
 	if mem {
 		diskPath = ""
+	}
+	var qosCfg *server.QoSConfig
+	if qos || qosWeights != "" || qosQuota != "" {
+		cfg, err := server.ParseQoSFlags(qosWeights, qosQuota)
+		if err != nil {
+			return err
+		}
+		qosCfg = &cfg
 	}
 	logger := log.New(os.Stderr, "swarmd: ", log.LstdFlags)
 	srv, err := swarm.NewServer(swarm.ServerOptions{
@@ -62,6 +78,7 @@ func run(listen, diskPath string, mem bool, size int64, fragSize int, reuse bool
 
 		ReadCacheBytes:     readCache,
 		ReadaheadFragments: readahead,
+		QoS:                qosCfg,
 	})
 	if err != nil {
 		return err

@@ -189,13 +189,13 @@ func PrintErasureResults(w io.Writer, rows []ErasureResult) {
 // (consumed by CI and tracked across PRs in EXPERIMENTS.md).
 func WriteErasureJSON(path string, rows []ErasureResult) error {
 	doc := struct {
-		Figure    string          `json:"figure"`
-		Generated string          `json:"generated"`
-		Results   []ErasureResult `json:"results"`
+		Figure  string          `json:"figure"`
+		Meta    RunMeta         `json:"meta"`
+		Results []ErasureResult `json:"results"`
 	}{
-		Figure:    "erasure",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Results:   rows,
+		Figure:  "erasure",
+		Meta:    NewRunMeta(),
+		Results: rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

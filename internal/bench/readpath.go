@@ -333,15 +333,15 @@ func PrintReadpathResults(w io.Writer, rows []ReadpathResult) {
 // (consumed by CI and tracked across PRs in EXPERIMENTS.md).
 func WriteReadpathJSON(path string, rows []ReadpathResult) error {
 	doc := struct {
-		Figure    string           `json:"figure"`
-		Generated string           `json:"generated"`
-		Speedup   float64          `json:"speedup"`
-		Results   []ReadpathResult `json:"results"`
+		Figure  string           `json:"figure"`
+		Meta    RunMeta          `json:"meta"`
+		Speedup float64          `json:"speedup"`
+		Results []ReadpathResult `json:"results"`
 	}{
-		Figure:    "readpath",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Speedup:   math.Round(ReadpathSpeedup(rows)*100) / 100,
-		Results:   rows,
+		Figure:  "readpath",
+		Meta:    NewRunMeta(),
+		Speedup: math.Round(ReadpathSpeedup(rows)*100) / 100,
+		Results: rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

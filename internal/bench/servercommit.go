@@ -259,15 +259,15 @@ func PrintServercommitResults(w io.Writer, rows []ServercommitResult) {
 // (consumed by CI and tracked across PRs in EXPERIMENTS.md).
 func WriteServercommitJSON(path string, rows []ServercommitResult) error {
 	doc := struct {
-		Figure    string               `json:"figure"`
-		Generated string               `json:"generated"`
-		Speedup   float64              `json:"speedup_filedisk"`
-		Results   []ServercommitResult `json:"results"`
+		Figure  string               `json:"figure"`
+		Meta    RunMeta              `json:"meta"`
+		Speedup float64              `json:"speedup_filedisk"`
+		Results []ServercommitResult `json:"results"`
 	}{
-		Figure:    "servercommit",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Speedup:   ServercommitSpeedup(rows, "filedisk"),
-		Results:   rows,
+		Figure:  "servercommit",
+		Meta:    NewRunMeta(),
+		Speedup: ServercommitSpeedup(rows, "filedisk"),
+		Results: rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

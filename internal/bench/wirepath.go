@@ -296,15 +296,15 @@ func PrintWirepathResults(w io.Writer, rows []WirepathResult) {
 // (consumed by CI and tracked across PRs in EXPERIMENTS.md).
 func WriteWirepathJSON(path string, rows []WirepathResult) error {
 	doc := struct {
-		Figure    string           `json:"figure"`
-		Generated string           `json:"generated"`
-		Speedup   float64          `json:"speedup"`
-		Results   []WirepathResult `json:"results"`
+		Figure  string           `json:"figure"`
+		Meta    RunMeta          `json:"meta"`
+		Speedup float64          `json:"speedup"`
+		Results []WirepathResult `json:"results"`
 	}{
-		Figure:    "wirepath",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Speedup:   WirepathSpeedup(rows),
-		Results:   rows,
+		Figure:  "wirepath",
+		Meta:    NewRunMeta(),
+		Speedup: WirepathSpeedup(rows),
+		Results: rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -73,6 +73,37 @@ func (t *Throttle) Acquire(n int) {
 	t.clock.Sleep(t.Reserve(n))
 }
 
+// TryAcquire consumes n bytes if the bucket allows it right now and
+// reports whether it did; it never sleeps and never debits on failure.
+// A request larger than the whole burst is admitted whenever the bucket
+// is full — it goes into debt rather than being unadmittable forever —
+// so oversize requests are paced at the long-run rate, not banned.
+// This is the admission-control primitive: callers shed (and have the
+// client retry) instead of blocking the server on a tenant's quota.
+func (t *Throttle) TryAcquire(n int) bool {
+	if t == nil || n <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock.Now()
+	t.level += now.Sub(t.last).Seconds() * t.rate
+	if t.level > t.burst {
+		t.level = t.burst
+	}
+	t.last = now
+	need := float64(n)
+	if need > t.burst {
+		need = t.burst
+	}
+	if t.level < need {
+		return false
+	}
+	t.level -= float64(n)
+	t.busy += time.Duration(float64(n) / t.rate * float64(time.Second))
+	return true
+}
+
 // Busy reports cumulative service time consumed from this resource. For a
 // CPU throttle, Busy/elapsed is the CPU utilization the paper reports for
 // the Modified Andrew Benchmark.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 
 	"swarm/internal/wire"
@@ -9,7 +10,49 @@ import (
 // Handle dispatches one decoded request against the store and returns the
 // response status and body. It is transport-independent: the TCP front end
 // and the in-process transport both call it.
+//
+// When the QoS tier is enabled (SetQoS), data-plane requests pass
+// through the weighted-fair scheduler first: the calling goroutine
+// blocks until its principal's turn, or gets StatusBusy back if the
+// admission controller sheds it. Ping and Stat bypass the scheduler —
+// the control plane must answer (health checks, the stats a human needs
+// to diagnose the overload) precisely when the data plane is saturated.
 func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Status, wire.Message) {
+	q := s.qos
+	if q == nil || op == wire.OpPing || op == wire.OpStat {
+		return s.handle(client, op, body)
+	}
+	var status wire.Status
+	var resp wire.Message
+	if !q.Do(client, requestCost(op, body), func() {
+		status, resp = s.handle(client, op, body)
+	}) {
+		return wire.StatusBusy, errMsgStr("over quota or queue bound; back off and retry")
+	}
+	return status, resp
+}
+
+// requestCost is a request's scheduling weight in bytes: the request
+// body (which contains the payload for stores), or for reads the
+// response length the client asked for — a read's cost is the bytes it
+// moves out, not the 16-byte request that asks. Floored at qosMinCost so
+// metadata operations are not free.
+func requestCost(op wire.Op, body []byte) int64 {
+	cost := int64(len(body))
+	// ReadRequest layout: FID u64, Off u32, Len u32 (see wire.ReadRequest).
+	if op == wire.OpRead && len(body) >= 16 {
+		if l := int64(binary.LittleEndian.Uint32(body[12:16])); l > cost {
+			cost = l
+		}
+	}
+	if cost < qosMinCost {
+		cost = qosMinCost
+	}
+	return cost
+}
+
+// handle is the scheduler-independent dispatch.
+func (s *Store) handle(client wire.ClientID, op wire.Op, body []byte) (wire.Status, wire.Message) {
 	switch op {
 	case wire.OpPing:
 		return wire.StatusOK, &wire.GenericResponse{}
@@ -118,6 +161,20 @@ func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Stat
 
 	case wire.OpStat:
 		st := s.Stats()
+		var tenants []wire.TenantStat
+		for _, t := range st.Tenants {
+			tenants = append(tenants, wire.TenantStat{
+				Client:      t.Client,
+				Weight:      uint32(t.Weight),
+				Ops:         t.Ops,
+				Bytes:       t.Bytes,
+				Sheds:       t.Sheds,
+				Queued:      uint32(t.Queued),
+				QueuedBytes: uint64(t.QueuedBytes),
+				P50Micros:   uint64(t.P50.Microseconds()),
+				P99Micros:   uint64(t.P99.Microseconds()),
+			})
+		}
 		return wire.StatusOK, &wire.StatResponse{
 			FragmentSize:    uint32(st.FragmentSize),
 			TotalSlots:      uint32(st.TotalSlots),
@@ -135,6 +192,7 @@ func (s *Store) Handle(client wire.ClientID, op wire.Op, body []byte) (wire.Stat
 			ReadBytesCached: uint64(st.ReadBytesCached),
 			ReadBytesDisk:   uint64(st.ReadBytesDisk),
 			ReadCacheBytes:  uint64(st.ReadCacheBytes),
+			Tenants:         tenants,
 		}
 
 	default:

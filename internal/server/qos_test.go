@@ -1,0 +1,364 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"swarm/internal/model"
+	"swarm/internal/wire"
+)
+
+// qosWaitQueued polls until the client's class has depth queued requests.
+func qosWaitQueued(t *testing.T, q *qosSched, client wire.ClientID, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ts := range q.TenantStats() {
+			if ts.Client == client && ts.Queued >= depth {
+				return
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("client %d never reached queue depth %d", client, depth)
+}
+
+// TestQoSDRROrder pins the deficit-round-robin dispatch order. One slot
+// makes service sequential; a blocker from a third class holds the slot
+// while two classes with weights 2:1 queue four equal-cost requests
+// each. The schedule must interleave 2:1 while both are backlogged —
+// never drain one class before the other gets service.
+func TestQoSDRROrder(t *testing.T) {
+	const (
+		clientA = wire.ClientID(1) // weight 2
+		clientB = wire.ClientID(2) // weight 1
+		blocker = wire.ClientID(9)
+	)
+	q := newQoSSched(QoSConfig{
+		Slots:   1,
+		Quantum: qosMinCost,
+		Classes: map[wire.ClientID]ClassConfig{
+			clientA: {Weight: 2},
+			clientB: {Weight: 1},
+		},
+	})
+
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if !q.Do(blocker, qosMinCost, func() { close(running); <-release }) {
+			t.Error("blocker shed")
+		}
+	}()
+	<-running
+
+	var mu sync.Mutex
+	var order []wire.ClientID
+	enqueue := func(client wire.ClientID, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !q.Do(client, qosMinCost, func() {
+					mu.Lock()
+					order = append(order, client)
+					mu.Unlock()
+				}) {
+					t.Errorf("client %d shed", client)
+				}
+			}()
+			qosWaitQueued(t, q, client, i+1)
+		}
+	}
+	enqueue(clientA, 4)
+	enqueue(clientB, 4)
+
+	close(release)
+	wg.Wait()
+
+	want := []wire.ClientID{clientA, clientA, clientB, clientA, clientA, clientB, clientB, clientB}
+	if len(order) != len(want) {
+		t.Fatalf("served %d requests, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQoSByteQuotaDeterministic drives the byte token bucket with a fake
+// clock: a full burst admits exactly two requests, the third sheds
+// without running, and one second of refill buys exactly one more.
+func TestQoSByteQuotaDeterministic(t *testing.T) {
+	clock := model.NewFakeClock(time.Unix(0, 0))
+	client := wire.ClientID(7)
+	q := newQoSSched(QoSConfig{
+		Slots: 4,
+		Clock: clock,
+		Classes: map[wire.ClientID]ClassConfig{
+			client: {ByteRate: qosMinCost, ByteBurst: 2 * qosMinCost},
+		},
+	})
+	ran := 0
+	do := func() bool { return q.Do(client, qosMinCost, func() { ran++ }) }
+
+	if !do() || !do() {
+		t.Fatal("burst-covered requests shed")
+	}
+	if do() {
+		t.Fatal("third request admitted past an empty bucket")
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 (shed request must not run)", ran)
+	}
+	clock.Advance(time.Second)
+	if !do() {
+		t.Fatal("request shed after a full second of refill")
+	}
+	if do() {
+		t.Fatal("refill admitted two requests, rate buys one")
+	}
+
+	st := q.TenantStats()
+	if len(st) != 1 || st[0].Ops != 3 || st[0].Sheds != 2 {
+		t.Fatalf("stats = %+v, want 3 ops / 2 sheds", st)
+	}
+}
+
+// TestQoSOpQuotaDeterministic does the same for the op-rate bucket; op
+// tokens are charged before byte tokens, one per request regardless of
+// cost.
+func TestQoSOpQuotaDeterministic(t *testing.T) {
+	clock := model.NewFakeClock(time.Unix(0, 0))
+	client := wire.ClientID(3)
+	q := newQoSSched(QoSConfig{
+		Slots: 4,
+		Clock: clock,
+		Classes: map[wire.ClientID]ClassConfig{
+			client: {OpRate: 1, OpBurst: 2},
+		},
+	})
+	do := func() bool { return q.Do(client, 1<<20, func() {}) }
+	if !do() || !do() {
+		t.Fatal("burst-covered ops shed")
+	}
+	if do() {
+		t.Fatal("op admitted past an empty op bucket")
+	}
+	clock.Advance(time.Second)
+	if !do() {
+		t.Fatal("op shed after refill")
+	}
+}
+
+// TestQoSAdmissionBound verifies the per-class queue bound: with the
+// only slot held by another tenant, a class may queue MaxQueuedOps
+// requests and the next one sheds immediately instead of queueing.
+func TestQoSAdmissionBound(t *testing.T) {
+	const (
+		client  = wire.ClientID(1)
+		blocker = wire.ClientID(9)
+	)
+	q := newQoSSched(QoSConfig{
+		Slots: 1,
+		Classes: map[wire.ClientID]ClassConfig{
+			client: {MaxQueuedOps: 2},
+		},
+	})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q.Do(blocker, qosMinCost, func() { close(running); <-release })
+	}()
+	<-running
+
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !q.Do(client, qosMinCost, func() {}) {
+				t.Error("within-bound request shed")
+			}
+		}()
+		qosWaitQueued(t, q, client, i+1)
+	}
+	if q.Do(client, qosMinCost, func() { t.Error("shed request ran") }) {
+		t.Fatal("request admitted past MaxQueuedOps")
+	}
+
+	close(release)
+	wg.Wait()
+	for _, ts := range q.TenantStats() {
+		if ts.Client == client {
+			if ts.Ops != 2 || ts.Sheds != 1 || ts.Queued != 0 {
+				t.Fatalf("stats = %+v, want 2 ops / 1 shed / 0 queued", ts)
+			}
+		}
+	}
+}
+
+// TestQoSByteBound verifies the queued-bytes admission bound.
+func TestQoSByteBound(t *testing.T) {
+	const (
+		client  = wire.ClientID(1)
+		blocker = wire.ClientID(9)
+	)
+	cost := int64(8 << 10)
+	q := newQoSSched(QoSConfig{
+		Slots: 1,
+		Classes: map[wire.ClientID]ClassConfig{
+			client: {MaxQueuedBytes: 2 * cost},
+		},
+	})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q.Do(blocker, qosMinCost, func() { close(running); <-release })
+	}()
+	<-running
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Do(client, cost, func() {})
+		}()
+		qosWaitQueued(t, q, client, i+1)
+	}
+	if q.Do(client, cost, func() {}) {
+		t.Fatal("request admitted past MaxQueuedBytes")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestQoSClassCapSharesSlots pins the weight-proportional concurrency
+// cap: under contention each class gets its ceiling share of the slot
+// budget (never below one); alone it gets every slot.
+func TestQoSClassCapSharesSlots(t *testing.T) {
+	q := newQoSSched(QoSConfig{
+		Slots: 2,
+		Classes: map[wire.ClientID]ClassConfig{
+			1: {Weight: 8},
+			2: {Weight: 1},
+		},
+	})
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	a := q.classLocked(1)
+	b := q.classLocked(2)
+
+	// Alone: full budget.
+	a.active = true
+	if got := q.classCapLocked(a); got != 2 {
+		t.Fatalf("solo cap = %d, want all %d slots", got, 2)
+	}
+	// Contended: ceil(2×8/9) = 2 for the heavy class, but the light one
+	// is still guaranteed a slot: ceil(2×1/9) rounds up to 1.
+	b.active = true
+	if got := q.classCapLocked(a); got != 2 {
+		t.Fatalf("heavy cap = %d, want 2", got)
+	}
+	if got := q.classCapLocked(b); got != 1 {
+		t.Fatalf("light cap = %d, want 1", got)
+	}
+}
+
+// TestQoSHistogram pins the fixed-bucket histogram's quantile behavior:
+// quantiles come back as power-of-two bucket upper bounds.
+func TestQoSHistogram(t *testing.T) {
+	var h latencyHist
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	for i := 0; i < 99; i++ {
+		h.record(50 * time.Microsecond) // bucket 0: ≤ 64µs
+	}
+	h.record(10 * time.Millisecond) // bucket 8: ≤ 16.384ms
+	if got := h.quantile(0.50); got != 64*time.Microsecond {
+		t.Fatalf("p50 = %v, want 64µs", got)
+	}
+	if got := h.quantile(0.99); got != 16384*time.Microsecond {
+		t.Fatalf("p99 = %v, want 16.384ms", got)
+	}
+	// An observation beyond the last bucket lands in the catch-all.
+	h.record(time.Hour)
+	if got := h.quantile(1.0); got != histBase<<(histBuckets-1) {
+		t.Fatalf("max quantile = %v, want catch-all bucket", got)
+	}
+}
+
+// TestQoSConcurrent hammers the scheduler from many goroutines across
+// several classes (race-detector coverage for the dispatch path) and
+// checks the books balance afterwards.
+func TestQoSConcurrent(t *testing.T) {
+	q := newQoSSched(QoSConfig{
+		Slots:   2,
+		Quantum: qosMinCost,
+		Classes: map[wire.ClientID]ClassConfig{
+			1: {Weight: 4},
+			2: {Weight: 1},
+			3: {Weight: 1, MaxQueuedOps: 8},
+		},
+	})
+	const perClient = 50
+	var served, shed sync.Map
+	var wg sync.WaitGroup
+	for _, client := range []wire.ClientID{1, 2, 3} {
+		servedN, shedN := new(int64), new(int64)
+		served.Store(client, servedN)
+		shed.Store(client, shedN)
+		for i := 0; i < perClient; i++ {
+			wg.Add(1)
+			go func(client wire.ClientID) {
+				defer wg.Done()
+				var mu sync.Mutex
+				ok := q.Do(client, qosMinCost*2, func() {
+					mu.Lock() // trivial body; the scheduler is the subject
+					mu.Unlock()
+				})
+				q.mu.Lock()
+				if ok {
+					*mustLoad(&served, client)++
+				} else {
+					*mustLoad(&shed, client)++
+				}
+				q.mu.Unlock()
+			}(client)
+		}
+	}
+	wg.Wait()
+
+	var totalServed, totalShed uint64
+	for _, ts := range q.TenantStats() {
+		if ts.Queued != 0 || ts.QueuedBytes != 0 {
+			t.Fatalf("client %d: residue in queue after drain: %+v", ts.Client, ts)
+		}
+		if s := *mustLoad(&served, ts.Client); uint64(s) != ts.Ops {
+			t.Fatalf("client %d: served %d vs stats %d", ts.Client, s, ts.Ops)
+		}
+		if s := *mustLoad(&shed, ts.Client); uint64(s) != ts.Sheds {
+			t.Fatalf("client %d: shed %d vs stats %d", ts.Client, s, ts.Sheds)
+		}
+		totalServed += ts.Ops
+		totalShed += ts.Sheds
+	}
+	if totalServed+totalShed != 3*perClient {
+		t.Fatalf("served %d + shed %d != offered %d", totalServed, totalShed, 3*perClient)
+	}
+}
+
+func mustLoad(m *sync.Map, client wire.ClientID) *int64 {
+	v, _ := m.Load(client)
+	return v.(*int64)
+}

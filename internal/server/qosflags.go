@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"swarm/internal/wire"
+)
+
+// ParseQoSFlags builds a QoSConfig from the swarmd flag grammar.
+//
+// weights is a comma-separated list of client=weight entries, where
+// client is a numeric principal ID or "default":
+//
+//	-qos-weights "default=1,7=4"
+//
+// quotas is a comma-separated list of client=byterate[:oprate] entries;
+// byterate takes K/M/G suffixes (decimal, bytes per second) and either
+// part may be empty to leave that quota unlimited:
+//
+//	-qos-quota "7=8M:200,9=:50,default=1M"
+//
+// Entries for the same client across the two flags merge into one class.
+func ParseQoSFlags(weights, quotas string) (QoSConfig, error) {
+	cfg := QoSConfig{Classes: make(map[wire.ClientID]ClassConfig)}
+	// class returns a mutable view of the entry for key ("default" or a
+	// numeric client ID).
+	update := func(key string, f func(*ClassConfig)) error {
+		key = strings.TrimSpace(key)
+		if key == "default" {
+			f(&cfg.Default)
+			return nil
+		}
+		id, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad client %q (want a number or \"default\")", key)
+		}
+		c := cfg.Classes[wire.ClientID(id)]
+		f(&c)
+		cfg.Classes[wire.ClientID(id)] = c
+		return nil
+	}
+
+	for _, ent := range splitEntries(weights) {
+		key, val, ok := strings.Cut(ent, "=")
+		if !ok {
+			return cfg, fmt.Errorf("qos-weights: entry %q is not client=weight", ent)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return cfg, fmt.Errorf("qos-weights: bad weight %q for %q", val, key)
+		}
+		if err := update(key, func(c *ClassConfig) { c.Weight = w }); err != nil {
+			return cfg, fmt.Errorf("qos-weights: %w", err)
+		}
+	}
+
+	for _, ent := range splitEntries(quotas) {
+		key, val, ok := strings.Cut(ent, "=")
+		if !ok {
+			return cfg, fmt.Errorf("qos-quota: entry %q is not client=byterate[:oprate]", ent)
+		}
+		brate, orate, _ := strings.Cut(val, ":")
+		var byteRate, opRate float64
+		if s := strings.TrimSpace(brate); s != "" {
+			r, err := parseByteRate(s)
+			if err != nil {
+				return cfg, fmt.Errorf("qos-quota: %q: %w", ent, err)
+			}
+			byteRate = r
+		}
+		if s := strings.TrimSpace(orate); s != "" {
+			r, err := strconv.ParseFloat(s, 64)
+			if err != nil || r <= 0 {
+				return cfg, fmt.Errorf("qos-quota: bad op rate %q in %q", orate, ent)
+			}
+			opRate = r
+		}
+		if err := update(key, func(c *ClassConfig) {
+			c.ByteRate = byteRate
+			c.OpRate = opRate
+		}); err != nil {
+			return cfg, fmt.Errorf("qos-quota: %w", err)
+		}
+	}
+	return cfg, nil
+}
+
+// splitEntries splits a comma-separated flag, dropping empty pieces so
+// trailing commas and the empty flag parse as zero entries.
+func splitEntries(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseByteRate parses "8M", "512K", "1.5G", or a plain byte count into
+// bytes per second (decimal units, matching the disk-vendor convention
+// used by internal/model's hardware parameters).
+func parseByteRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad byte rate %q", s)
+	}
+	return v * mult, nil
+}

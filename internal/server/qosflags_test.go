@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+
+	"swarm/internal/wire"
+)
+
+func TestParseQoSFlags(t *testing.T) {
+	cfg, err := ParseQoSFlags("default=2, 7=4", "7=8M:200, 9=:50, default=1.5K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.Weight != 2 || cfg.Default.ByteRate != 1500 || cfg.Default.OpRate != 0 {
+		t.Fatalf("default class = %+v", cfg.Default)
+	}
+	c7 := cfg.Classes[wire.ClientID(7)]
+	if c7.Weight != 4 || c7.ByteRate != 8e6 || c7.OpRate != 200 {
+		t.Fatalf("class 7 = %+v", c7)
+	}
+	c9 := cfg.Classes[wire.ClientID(9)]
+	if c9.Weight != 0 || c9.ByteRate != 0 || c9.OpRate != 50 {
+		t.Fatalf("class 9 = %+v", c9)
+	}
+	if _, err := ParseQoSFlags("", ""); err != nil {
+		t.Fatalf("empty flags: %v", err)
+	}
+}
+
+func TestParseQoSFlagsRejectsGarbage(t *testing.T) {
+	bad := [][2]string{
+		{"7", ""},           // no '='
+		{"7=0", ""},         // zero weight
+		{"x=1", ""},         // non-numeric client
+		{"", "7=fast"},      // non-numeric rate
+		{"", "7=1M:-3"},     // negative op rate
+		{"", "default=-1K"}, // negative byte rate
+	}
+	for _, b := range bad {
+		if _, err := ParseQoSFlags(b[0], b[1]); err == nil {
+			t.Errorf("ParseQoSFlags(%q, %q) accepted garbage", b[0], b[1])
+		}
+	}
+}

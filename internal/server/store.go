@@ -164,6 +164,10 @@ type Store struct {
 	// Set once by SetReadCache before traffic; see readcache.go.
 	rcache *readCache
 
+	// qos is the multi-tenant weighted-fair scheduler (nil = FIFO, the
+	// pre-QoS behavior). Set once by SetQoS before traffic; see qos.go.
+	qos *qosSched
+
 	acls *ACLDB
 }
 
@@ -689,6 +693,10 @@ type Stats struct {
 	ReadBytesCached int64 // payload bytes served zero-copy from cache
 	ReadBytesDisk   int64 // bytes read from disk to fill extents
 	ReadCacheBytes  int64 // current extent cache occupancy
+
+	// Per-tenant QoS accounting (empty while the fair scheduler is
+	// disabled), one entry per principal seen, ascending client order.
+	Tenants []TenantStat
 }
 
 // ReadHitRate is the fraction of cached-path reads served from memory.
@@ -766,5 +774,18 @@ func (s *Store) Stats() Stats {
 		st.ReadBytesDisk = rc.bytesDisk.Load()
 		st.ReadCacheBytes = rc.curBytes()
 	}
+	if q := s.qos; q != nil {
+		st.Tenants = q.TenantStats()
+	}
 	return st
+}
+
+// SetQoS installs the multi-tenant weighted-fair scheduler (DESIGN.md
+// §3.14): data-plane requests through Handle are classified by principal,
+// scheduled by deficit round robin over byte-weighted costs, charged
+// against per-class quotas, and shed with StatusBusy past the admission
+// bounds. Call once before serving traffic; a nil receiver-field (the
+// default) keeps the pre-QoS FIFO behavior exactly.
+func (s *Store) SetQoS(cfg QoSConfig) {
+	s.qos = newQoSSched(cfg)
 }

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"swarm/internal/wire"
+)
+
+// TestStatusClassificationExhaustive pins the contract of satellite
+// concern: every wire status has an explicit entry in classifyStatus, so
+// a newly added status fails here instead of silently defaulting to
+// permanent. It also spot-checks the classes themselves.
+func TestStatusClassificationExhaustive(t *testing.T) {
+	for _, s := range wire.AllStatuses() {
+		out, known := classifyStatus(s)
+		if !known {
+			t.Errorf("status %v (%d) has no explicit classification entry", s, uint8(s))
+		}
+		want := outcomeFinal
+		if s == wire.StatusBusy {
+			want = outcomeBusy
+		}
+		if out != want {
+			t.Errorf("classifyStatus(%v) = %d, want %d", s, out, want)
+		}
+	}
+	if _, known := classifyStatus(wire.Status(200)); known {
+		t.Error("undefined status claimed a classification entry")
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if got := classify(nil); got != outcomeFinal {
+		t.Errorf("classify(nil) = %d, want final", got)
+	}
+	if got := classify(ErrUnavailable); got != outcomeTransient {
+		t.Errorf("classify(ErrUnavailable) = %d, want transient", got)
+	}
+	if got := classify(&wire.StatusError{Status: wire.StatusBusy}); got != outcomeBusy {
+		t.Errorf("classify(busy) = %d, want busy", got)
+	}
+	if got := classify(&wire.StatusError{Status: wire.StatusNotFound}); got != outcomeFinal {
+		t.Errorf("classify(not-found) = %d, want final", got)
+	}
+}
+
+func TestResilientRetriesBusySheds(t *testing.T) {
+	var sleeps int
+	r, fl := newResilientPair(t, ResilientConfig{
+		BusyRetries:   8,
+		FailThreshold: 2, // would trip instantly if busy counted as failure
+		sleep:         func(time.Duration) { sleeps++ },
+	})
+	fl.FailNext(3, &wire.StatusError{Status: wire.StatusBusy, Msg: "shed"})
+	data := bytes.Repeat([]byte{7}, 128)
+	if err := r.Store(wire.MakeFID(1, 0), data, true, nil); err != nil {
+		t.Fatalf("store through busy sheds: %v", err)
+	}
+	h := r.Health()
+	if h.Busy != 3 {
+		t.Fatalf("busy count = %d, want 3 (health %+v)", h.Busy, h)
+	}
+	if h.Failures != 0 || h.Trips != 0 || h.State != "closed" {
+		t.Fatalf("busy sheds disturbed the breaker: %+v", h)
+	}
+	if sleeps != 3 {
+		t.Fatalf("slept %d times, want 3 (one backoff per shed)", sleeps)
+	}
+}
+
+func TestResilientBusyExhaustionReturnsBusy(t *testing.T) {
+	r, fl := newResilientPair(t, ResilientConfig{
+		BusyRetries: 2,
+		sleep:       func(time.Duration) {},
+	})
+	fl.FailNext(100, &wire.StatusError{Status: wire.StatusBusy, Msg: "shed"})
+	before := fl.Calls()
+	err := r.Store(wire.MakeFID(1, 0), bytes.Repeat([]byte{7}, 64), false, nil)
+	if !wire.IsStatus(err, wire.StatusBusy) {
+		t.Fatalf("exhausted busy retries returned %v, want StatusBusy", err)
+	}
+	if got := fl.Calls() - before; got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + BusyRetries)", got)
+	}
+	// Even exhausted, busy never reads as server death.
+	if h := r.Health(); h.State != "closed" || h.Trips != 0 {
+		t.Fatalf("busy exhaustion disturbed the breaker: %+v", h)
+	}
+}
+
+// TestResilientACLCreateRetriesBusy: ACL creation is never retried after
+// transient failures (a lost response could leak an ACL), but a busy
+// shed happens before the handler runs, so retrying it is safe.
+func TestResilientACLCreateRetriesBusy(t *testing.T) {
+	r, fl := newResilientPair(t, ResilientConfig{
+		BusyRetries: 8,
+		sleep:       func(time.Duration) {},
+	})
+	fl.FailNext(2, &wire.StatusError{Status: wire.StatusBusy, Msg: "shed"})
+	before := fl.Calls()
+	aid, err := r.ACLCreate([]wire.ClientID{1, 2})
+	if err != nil {
+		t.Fatalf("acl-create through busy sheds: %v", err)
+	}
+	if aid == 0 {
+		t.Fatal("acl-create returned AID 0")
+	}
+	if got := fl.Calls() - before; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	// Transient failures still abort immediately.
+	fl.FailNext(1, ErrUnavailable)
+	before = fl.Calls()
+	if _, err := r.ACLCreate([]wire.ClientID{3}); err == nil {
+		t.Fatal("acl-create with transient failure succeeded")
+	}
+	if got := fl.Calls() - before; got != 1 {
+		t.Fatalf("transient acl-create attempted %d times, want 1", got)
+	}
+}

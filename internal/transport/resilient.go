@@ -24,6 +24,13 @@ type ResilientConfig struct {
 	RetryBase time.Duration
 	// RetryMax caps the backoff delay. Default 250ms.
 	RetryMax time.Duration
+	// BusyRetries is how many times a wire.StatusBusy shed is retried
+	// (total attempts = BusyRetries+1). Busy means the server's
+	// admission controller rejected the request without executing it,
+	// so retrying is always safe — even for non-idempotent operations —
+	// and busy responses never count toward the circuit breaker: a
+	// shedding server is a live server. Default 8; negative disables.
+	BusyRetries int
 	// FailThreshold is the number of consecutive transient failures
 	// (counting individual attempts) that opens the circuit. Default 4.
 	FailThreshold int
@@ -51,6 +58,12 @@ func (cfg ResilientConfig) withDefaults() ResilientConfig {
 	}
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 250 * time.Millisecond
+	}
+	if cfg.BusyRetries == 0 {
+		cfg.BusyRetries = 8
+	}
+	if cfg.BusyRetries < 0 {
+		cfg.BusyRetries = 0
 	}
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 4
@@ -101,6 +114,9 @@ type Health struct {
 	Failures int64
 	// Retries counts retried attempts.
 	Retries int64
+	// Busy counts wire.StatusBusy sheds observed (each is retried with
+	// backoff up to BusyRetries times without tripping the breaker).
+	Busy int64
 	// Trips counts closed→open transitions.
 	Trips int64
 	// FastFails counts calls rejected without touching the network
@@ -125,7 +141,7 @@ type Resilient struct {
 	probing     bool       // guarded by mu
 	rng         *rand.Rand // guarded by mu
 
-	ops, failures, retries, trips, fastFails int64 // guarded by mu
+	ops, failures, retries, busy, trips, fastFails int64 // guarded by mu
 }
 
 var _ ServerConn = (*Resilient)(nil)
@@ -154,6 +170,7 @@ func (r *Resilient) Health() Health {
 		Ops:                 r.ops,
 		Failures:            r.failures,
 		Retries:             r.retries,
+		Busy:                r.busy,
 		Trips:               r.trips,
 		FastFails:           r.fastFails,
 		ConsecutiveFailures: r.consec,
@@ -167,6 +184,56 @@ func (r *Resilient) Health() Health {
 func isTransient(err error) bool {
 	var se *wire.StatusError
 	return err != nil && !errors.As(err, &se)
+}
+
+// Outcome classes for one attempt, from the retry loop's point of view.
+const (
+	// outcomeFinal: success or an authoritative server answer — the
+	// request was delivered and processed, the answer will not change
+	// on retry. Return it to the caller.
+	outcomeFinal = iota
+	// outcomeTransient: a transport-level failure (socket error,
+	// timeout, ErrUnavailable). Retry up to MaxRetries; counts toward
+	// the circuit breaker.
+	outcomeTransient
+	// outcomeBusy: the server's admission controller shed the request
+	// before executing it (wire.StatusBusy). Retry with backoff up to
+	// BusyRetries; resets the breaker — a shedding server is alive.
+	outcomeBusy
+)
+
+// classifyStatus maps a wire status to an outcome class. The switch is
+// exhaustive over wire.AllStatuses() — enforced by test — so a new
+// status cannot be added without an explicit decision here; it can never
+// silently default to permanent. The boolean reports whether the status
+// has an entry (false only for codes this build does not know).
+func classifyStatus(s wire.Status) (int, bool) {
+	switch s {
+	case wire.StatusOK, wire.StatusNotFound, wire.StatusNoSpace,
+		wire.StatusAccess, wire.StatusExists, wire.StatusBadRequest,
+		wire.StatusInternal:
+		return outcomeFinal, true
+	case wire.StatusBusy:
+		return outcomeBusy, true
+	default:
+		// A status this build does not know (a newer server?):
+		// authoritative-and-final is the safe reading — retrying an
+		// unknown answer could repeat a non-idempotent operation.
+		return outcomeFinal, false
+	}
+}
+
+// classify maps one attempt's error to an outcome class.
+func classify(err error) int {
+	if err == nil {
+		return outcomeFinal
+	}
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		out, _ := classifyStatus(se.Status)
+		return out
+	}
+	return outcomeTransient
 }
 
 // admit enforces the circuit breaker before an attempt touches the
@@ -218,6 +285,18 @@ func (r *Resilient) onSuccess() {
 	r.mu.Unlock()
 }
 
+// onBusy records a shed: the server is alive and answering, so the
+// breaker resets exactly as on success — a server protecting itself from
+// overload must not read as a dead one (tripping would convert "please
+// back off" into a storm of fast-fails and probes).
+func (r *Resilient) onBusy() {
+	r.mu.Lock()
+	r.busy++
+	r.consec = 0
+	r.state = breakerClosed
+	r.mu.Unlock()
+}
+
 func (r *Resilient) onFailure() {
 	r.mu.Lock()
 	r.failures++
@@ -245,6 +324,9 @@ func (r *Resilient) backoff(attempt int) time.Duration {
 }
 
 // do runs one logical operation through the breaker and retry loop.
+// Transient failures and busy sheds have separate retry budgets: a
+// request bounced by an overloaded server should not spend the budget
+// reserved for a flaky network, and vice versa.
 func (r *Resilient) do(op string, fn func() error) error {
 	if err := r.admit(op); err != nil {
 		return err
@@ -252,26 +334,42 @@ func (r *Resilient) do(op string, fn func() error) error {
 	r.mu.Lock()
 	r.ops++
 	r.mu.Unlock()
-	for attempt := 0; ; attempt++ {
+	transient, busy := 0, 0
+	for {
 		err := fn()
-		if !isTransient(err) {
+		switch classify(err) {
+		case outcomeFinal:
 			// Success, or a definitive server response.
 			r.onSuccess()
 			return err
+
+		case outcomeBusy:
+			r.onBusy()
+			if busy >= r.cfg.BusyRetries {
+				return err
+			}
+			r.cfg.sleep(r.backoff(busy))
+			busy++
+			// No re-admit: onBusy just proved the server alive and
+			// closed the breaker; probing a shedding server only adds
+			// load.
+
+		default: // outcomeTransient
+			r.onFailure()
+			if transient >= r.cfg.MaxRetries {
+				return err
+			}
+			r.cfg.sleep(r.backoff(transient))
+			transient++
+			// The circuit may have opened while we were backing off (our
+			// own failures or a concurrent caller's).
+			if aerr := r.admit(op); aerr != nil {
+				return aerr
+			}
+			r.mu.Lock()
+			r.retries++
+			r.mu.Unlock()
 		}
-		r.onFailure()
-		if attempt >= r.cfg.MaxRetries {
-			return err
-		}
-		r.cfg.sleep(r.backoff(attempt))
-		// The circuit may have opened while we were backing off (our own
-		// failures or a concurrent caller's).
-		if aerr := r.admit(op); aerr != nil {
-			return aerr
-		}
-		r.mu.Lock()
-		r.retries++
-		r.mu.Unlock()
 	}
 }
 
@@ -346,7 +444,9 @@ func (r *Resilient) List(client wire.ClientID) ([]wire.FID, error) {
 }
 
 // ACLCreate implements ServerConn. ACL creation is not idempotent (a
-// retry after a lost response would leak an ACL), so it is not retried.
+// retry after a lost response would leak an ACL), so transient failures
+// are not retried. A StatusBusy shed, however, is retried: busy is
+// returned before the handler runs, so no ACL can have been created.
 func (r *Resilient) ACLCreate(members []wire.ClientID) (wire.AID, error) {
 	if err := r.admit("acl-create"); err != nil {
 		return 0, err
@@ -354,13 +454,23 @@ func (r *Resilient) ACLCreate(members []wire.ClientID) (wire.AID, error) {
 	r.mu.Lock()
 	r.ops++
 	r.mu.Unlock()
-	aid, err := r.inner.ACLCreate(members)
-	if isTransient(err) {
-		r.onFailure()
-	} else {
-		r.onSuccess()
+	for busy := 0; ; busy++ {
+		aid, err := r.inner.ACLCreate(members)
+		switch classify(err) {
+		case outcomeFinal:
+			r.onSuccess()
+			return aid, err
+		case outcomeBusy:
+			r.onBusy()
+			if busy >= r.cfg.BusyRetries {
+				return aid, err
+			}
+			r.cfg.sleep(r.backoff(busy))
+		default:
+			r.onFailure()
+			return aid, err
+		}
 	}
-	return aid, err
 }
 
 // ACLModify implements ServerConn.

@@ -113,6 +113,15 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		for i := range fids {
 			fids[i] = FID(fid + uint64(i))
 		}
+		tenants := make([]TenantStat, int(n%4))
+		for i := range tenants {
+			tenants[i] = TenantStat{
+				Client: ClientID(client + uint32(i)), Weight: n + uint32(i),
+				Ops: id + uint64(i), Bytes: id ^ uint64(i), Sheds: id % (uint64(i) + 7),
+				Queued: n ^ uint32(i), QueuedBytes: fid + uint64(i),
+				P50Micros: id + 10, P99Micros: id + 20,
+			}
+		}
 
 		encoded := func(m Message) []byte {
 			e := NewEncoder(64 + len(data))
@@ -219,6 +228,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 				FragmentSize: n, TotalSlots: n + 1, FreeSlots: n + 2, Fragments: n + 3,
 				Stores: id, SyncRequests: id + 1, Syncs: id + 2,
 				EntryBatches: id + 3, EntriesBatched: id + 4, StoreNanos: id + 5,
+				Tenants: tenants,
 			}},
 		}
 		for _, rs := range responses {
@@ -262,6 +272,22 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			t.Fatalf("error round trip lost the status: %v", ferr)
 		}
 		PutBuffer(frame.Body)
+
+		// A busy shed travels as an error frame too: the retryable
+		// StatusBusy must survive the trip (the client's backoff logic
+		// keys on exactly this status).
+		var bbuf bytes.Buffer
+		if err := WriteErrorResponse(&bbuf, OpStore, id, StatusBusy, errText); err != nil {
+			t.Fatalf("write busy response: %v", err)
+		}
+		bframe, err := ReadResponseFrame(bytes.NewReader(bbuf.Bytes()))
+		if err != nil {
+			t.Fatalf("read busy frame: %v", err)
+		}
+		if berr := bframe.Err(); !IsStatus(berr, StatusBusy) {
+			t.Fatalf("busy round trip lost the status: %v", berr)
+		}
+		PutBuffer(bframe.Body)
 	})
 }
 

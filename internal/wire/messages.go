@@ -448,6 +448,59 @@ type StatResponse struct {
 	ReadBytesCached uint64
 	ReadBytesDisk   uint64
 	ReadCacheBytes  uint64
+
+	// Tenants is the per-principal QoS accounting (empty when the fair
+	// scheduler is disabled), one entry per principal the scheduler has
+	// seen, in ascending client order.
+	Tenants []TenantStat
+}
+
+// TenantStat is one principal's QoS accounting on one server: how much
+// work the weighted-fair scheduler admitted and served for it, how much
+// the admission controller shed, and the service-latency distribution
+// (enqueue to completion) of its requests.
+type TenantStat struct {
+	// Client is the principal (0 is the anonymous/default class).
+	Client ClientID
+	// Weight is the class's DRR weight.
+	Weight uint32
+	// Ops and Bytes count requests served and their byte-weighted cost.
+	Ops   uint64
+	Bytes uint64
+	// Sheds counts requests rejected with StatusBusy at admission.
+	Sheds uint64
+	// Queued and QueuedBytes are the class's current queue depth.
+	Queued      uint32
+	QueuedBytes uint64
+	// P50Micros and P99Micros are service-latency percentiles in
+	// microseconds (queueing + execution), from a fixed-bucket
+	// histogram: values are bucket upper bounds, not exact quantiles.
+	P50Micros uint64
+	P99Micros uint64
+}
+
+func (t *TenantStat) encode(e *Encoder) {
+	e.U32(uint32(t.Client))
+	e.U32(t.Weight)
+	e.U64(t.Ops)
+	e.U64(t.Bytes)
+	e.U64(t.Sheds)
+	e.U32(t.Queued)
+	e.U64(t.QueuedBytes)
+	e.U64(t.P50Micros)
+	e.U64(t.P99Micros)
+}
+
+func (t *TenantStat) decode(d *Decoder) {
+	t.Client = ClientID(d.U32())
+	t.Weight = d.U32()
+	t.Ops = d.U64()
+	t.Bytes = d.U64()
+	t.Sheds = d.U64()
+	t.Queued = d.U32()
+	t.QueuedBytes = d.U64()
+	t.P50Micros = d.U64()
+	t.P99Micros = d.U64()
 }
 
 // Encode implements Message.
@@ -468,6 +521,10 @@ func (m *StatResponse) Encode(e *Encoder) {
 	e.U64(m.ReadBytesCached)
 	e.U64(m.ReadBytesDisk)
 	e.U64(m.ReadCacheBytes)
+	e.U32(uint32(len(m.Tenants)))
+	for i := range m.Tenants {
+		m.Tenants[i].encode(e)
+	}
 }
 
 // Decode implements Message.
@@ -488,5 +545,17 @@ func (m *StatResponse) Decode(d *Decoder) error {
 	m.ReadBytesCached = d.U64()
 	m.ReadBytesDisk = d.U64()
 	m.ReadCacheBytes = d.U64()
+	n := d.U32()
+	if n > 1<<20 {
+		return fmt.Errorf("%w: %d tenant stats", ErrBadMessage, n)
+	}
+	if n > 0 {
+		m.Tenants = make([]TenantStat, 0, n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var t TenantStat
+		t.decode(d)
+		m.Tenants = append(m.Tenants, t)
+	}
 	return finish(d)
 }

@@ -60,7 +60,30 @@ const (
 	StatusExists
 	StatusBadRequest
 	StatusInternal
+	// StatusBusy means the server's admission controller shed the
+	// request — the tenant is over quota or its queue bound — and the
+	// client should back off and retry. Unlike every other status it is
+	// not an authoritative answer about the operation itself: nothing
+	// was attempted against the store.
+	StatusBusy
 )
+
+// AllStatuses enumerates every defined status code. Tables keyed by
+// status (the resilient transport's retry classification) are tested
+// against this list so a new status cannot be added without deciding,
+// explicitly, how every layer treats it.
+func AllStatuses() []Status {
+	return []Status{
+		StatusOK,
+		StatusNotFound,
+		StatusNoSpace,
+		StatusAccess,
+		StatusExists,
+		StatusBadRequest,
+		StatusInternal,
+		StatusBusy,
+	}
+}
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
@@ -79,6 +102,8 @@ func (s Status) String() string {
 		return "bad request"
 	case StatusInternal:
 		return "internal error"
+	case StatusBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

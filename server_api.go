@@ -39,6 +39,11 @@ type ServerOptions struct {
 	// prefetches off the same disk pass. Zero uses the default (4);
 	// negative disables readahead.
 	ReadaheadFragments int
+	// QoS, when non-nil, enables the multi-tenant weighted-fair
+	// scheduler with quotas and admission control (DESIGN.md §3.14).
+	// Nil (the default) keeps the FIFO request path. See README,
+	// "Multi-tenant tuning".
+	QoS *server.QoSConfig
 }
 
 // Server is one Swarm storage server: a fragment repository on a disk,
@@ -95,6 +100,9 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	if cacheBytes > 0 {
 		st.SetReadCache(cacheBytes, readahead)
+	}
+	if opts.QoS != nil {
+		st.SetQoS(*opts.QoS)
 	}
 	s := &Server{store: st, d: d}
 	if opts.Listen != "" {
