@@ -19,8 +19,14 @@ check: ci
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: buffer-pool ownership, lock/I-O
-# discipline, guarded-by fields, and error classification (DESIGN.md §7).
+# Project-specific static analysis (DESIGN.md §7): buffer-pool
+# ownership, lock/I-O discipline, guarded-by fields, error
+# classification, placement indexing, extent refcount flow (refcount),
+# wire.Status switch exhaustiveness (statuscase), mixed atomic/plain
+# field access (atomicmix), and goroutine lifecycle (goroleak). The
+# ./... pattern covers the whole module — cmd/... and examples/...
+# included — so the driver and example programs are held to the same
+# invariants as the library.
 lint:
 	$(GO) run ./cmd/swarmlint ./...
 

@@ -1,20 +1,26 @@
 // Command swarmlint runs Swarm's project-specific static analyzers
 // over the repository: buffer-pool ownership (bufpool), lock/I-O
-// discipline (lockio), guarded-field locking (guardedby), and error
-// classification (errclass). See internal/lint and DESIGN.md §7.
+// discipline (lockio), guarded-field locking (guardedby), error
+// classification (errclass), placement indexing (placement), extent
+// reference counting (refcount), wire.Status exhaustiveness
+// (statuscase), mixed atomic/plain field access (atomicmix), and
+// goroutine lifecycle (goroleak). See internal/lint and DESIGN.md §7.
 //
 // Usage:
 //
-//	swarmlint [-only name,name] [-list] [packages]
+//	swarmlint [-only name,name] [-list] [-v] [packages]
 //
-// Packages default to ./... relative to the enclosing module. Exit
-// status is 0 when clean, 1 when diagnostics were reported, and 2 when
-// loading or type-checking failed.
+// Packages default to ./... relative to the enclosing module. The
+// analyzers run in parallel; -v prints per-analyzer wall-clock timing
+// (slowest first) to stderr. Exit status is 0 when clean, 1 when
+// diagnostics were reported, and 2 when loading or type-checking
+// failed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,58 +29,75 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	dir := flag.String("C", ".", "directory to resolve the module from")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: swarmlint [flags] [packages]\n\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI contract —
+// exit codes, diagnostic format, -list output — is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swarmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve the module from")
+	verbose := fs.Bool("v", false, "print per-analyzer timing to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: swarmlint [flags] [packages]\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Default()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		var err error
 		analyzers, err = lint.ByName(analyzers, strings.Split(*only, ","))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "swarmlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "swarmlint:", err)
+			return 2
 		}
 	}
 
 	root, err := lint.ModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "swarmlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "swarmlint:", err)
+		return 2
 	}
-	loader, err := lint.NewLoader(root, flag.Args()...)
+	loader, err := lint.NewLoader(root, fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "swarmlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "swarmlint:", err)
+		return 2
 	}
 	pkgs, err := loader.Load()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "swarmlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "swarmlint:", err)
+		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags, timings := lint.RunParallel(pkgs, analyzers)
+	if *verbose {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "swarmlint: %-10s %8.1fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
 	for _, d := range diags {
 		// Print paths relative to the module root when possible: stable
 		// output for CI logs regardless of checkout location.
 		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			d.Pos.Filename = rel
 		}
-		fmt.Println(d.String())
+		fmt.Fprintln(stdout, d.String())
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "swarmlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "swarmlint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

@@ -194,6 +194,9 @@ func (l *Log) Prefetch(addr BlockAddr, fragments int) {
 	}
 	l.mu.Unlock()
 	for _, fid := range targets {
+		// One-shot speculative fetch: it runs one RPC round and exits,
+		// and the prefetching dedup map bounds how many run at once.
+		// swarmlint:goroleak-ok — self-terminating one-shot fetch
 		go l.prefetchOne(fid)
 	}
 }

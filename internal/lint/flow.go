@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the lint suite's shared flow walker: a small symbolic
+// executor over Go's structured control flow that the flow-sensitive
+// analyzers (refcount, and any future ownership discipline) build on.
+// It is deliberately not a real CFG library. Go bodies in this tree are
+// structured — if/else, loops, switch, select, defer, early returns —
+// so an AST-directed walk with explicit state merging at joins covers
+// the control flow that matters, at a fraction of the machinery:
+//
+//   - every branch of an if/switch/select is walked with its own copy
+//     of the abstract state, and the copies are merged at the join;
+//   - loop bodies are walked once (no fixpoint): a fact that must hold
+//     per-iteration is checked within the iteration, and the
+//     zero-iteration path merges back in;
+//   - defers are recorded per path and replayed (innermost first) at
+//     every exit — a return, or falling off the end of the body —
+//     before the exit callback runs;
+//   - a path ending in panic() vanishes instead of reaching the exit
+//     callback: obligations do not survive the process.
+//
+// Unsupported control flow is handled leniently, never unsoundly-loud:
+// goto ends its path silently, labeled break/continue bind to the
+// innermost construct. The walker's job is catching the easy, common
+// leak, with zero false positives — the same asymmetry bufpool chose.
+
+// flowStatus is the abstract state of one tracked variable.
+type flowStatus uint8
+
+const (
+	// flowNone: no outstanding obligation (not acquired on this path,
+	// or refined away by a nil/error check).
+	flowNone flowStatus = iota
+	// flowDone: the obligation was discharged — released, returned,
+	// stored, or transferred.
+	flowDone
+	// flowMaybeHeld: held on some paths into a join but not others.
+	flowMaybeHeld
+	// flowHeld: the obligation is outstanding.
+	flowHeld
+)
+
+// flowState is one control-flow path's abstract state: a status per
+// tracked variable plus the defers registered so far on the path.
+type flowState struct {
+	live   bool
+	vars   map[*types.Var]flowStatus
+	defers []*ast.CallExpr
+}
+
+func newFlowState() *flowState {
+	return &flowState{live: true, vars: make(map[*types.Var]flowStatus)}
+}
+
+func (s *flowState) clone() *flowState {
+	c := &flowState{live: s.live, vars: make(map[*types.Var]flowStatus, len(s.vars))}
+	for k, v := range s.vars {
+		c.vars[k] = v
+	}
+	c.defers = append(c.defers, s.defers...)
+	return c
+}
+
+// Get returns v's status on this path.
+func (s *flowState) Get(v *types.Var) flowStatus { return s.vars[v] }
+
+// Set records v's status on this path.
+func (s *flowState) Set(v *types.Var, st flowStatus) { s.vars[v] = st }
+
+// mergeStatus joins two per-variable statuses at a control-flow join.
+func mergeStatus(a, b flowStatus) flowStatus {
+	if a == b {
+		return a
+	}
+	// Any disagreement that involves holding on one side means the
+	// obligation is outstanding only conditionally.
+	if a == flowHeld || b == flowHeld || a == flowMaybeHeld || b == flowMaybeHeld {
+		return flowMaybeHeld
+	}
+	return flowDone // one path acquired-and-discharged, the other never acquired
+}
+
+// mergeFlow joins the states of two paths. Dead paths contribute
+// nothing: merging with an unreachable state yields the other state.
+func mergeFlow(a, b *flowState) *flowState {
+	if a == nil || !a.live {
+		if b == nil {
+			return a
+		}
+		return b
+	}
+	if b == nil || !b.live {
+		return a
+	}
+	out := &flowState{live: true, vars: make(map[*types.Var]flowStatus, len(a.vars))}
+	for k, av := range a.vars {
+		out.vars[k] = mergeStatus(av, b.vars[k])
+	}
+	for k, bv := range b.vars {
+		if _, ok := a.vars[k]; !ok {
+			out.vars[k] = mergeStatus(flowNone, bv)
+		}
+	}
+	out.defers = append(out.defers, a.defers...)
+	for _, d := range b.defers {
+		dup := false
+		for _, e := range out.defers {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.defers = append(out.defers, d)
+		}
+	}
+	return out
+}
+
+// flowHooks supplies an analyzer's semantics to the walker.
+type flowHooks interface {
+	// Transfer interprets one non-control-flow statement (assignments,
+	// expression statements, sends, declarations, go statements, and
+	// the operand effects of return statements), mutating st.
+	Transfer(st *flowState, stmt ast.Stmt)
+	// Call interprets one deferred call when it is replayed at an exit.
+	Call(st *flowState, call *ast.CallExpr)
+	// Refine narrows st given that cond evaluated to truth (the walker
+	// calls it on both arms of every if and loop condition).
+	Refine(st *flowState, cond ast.Expr, truth bool)
+}
+
+// flowWalker drives hooks over one function body.
+type flowWalker struct {
+	hooks  flowHooks
+	onExit func(st *flowState, at ast.Node)
+	info   *types.Info
+
+	// breakable/continuable construct stacks: break targets the
+	// innermost loop, switch, or select; continue the innermost loop.
+	breaks    []*[]*flowState
+	continues []*[]*flowState
+}
+
+// walkFlow symbolically executes body, invoking hooks on every
+// statement and onExit (with defers already replayed) at every return
+// and at the fall-off end of the body. info is used to recognize calls
+// to the panic builtin.
+func walkFlow(body *ast.BlockStmt, info *types.Info, hooks flowHooks, onExit func(st *flowState, at ast.Node)) {
+	w := &flowWalker{hooks: hooks, onExit: onExit, info: info}
+	st := newFlowState()
+	w.walkStmt(st, body)
+	if st.live {
+		w.exit(st, body)
+	}
+}
+
+// exit replays the path's defers innermost-first, then reports the exit.
+func (w *flowWalker) exit(st *flowState, at ast.Node) {
+	for i := len(st.defers) - 1; i >= 0; i-- {
+		w.hooks.Call(st, st.defers[i])
+	}
+	w.onExit(st, at)
+	st.live = false
+}
+
+// die ends the path without an exit report (panic, goto).
+func (w *flowWalker) die(st *flowState) { st.live = false }
+
+func (w *flowWalker) walkStmt(st *flowState, s ast.Stmt) {
+	if !st.live || s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, stmt := range s.List {
+			if !st.live {
+				return
+			}
+			w.walkStmt(st, stmt)
+		}
+
+	case *ast.ReturnStmt:
+		w.hooks.Transfer(st, s)
+		w.exit(st, s)
+
+	case *ast.IfStmt:
+		w.walkStmt(st, s.Init)
+		if !st.live {
+			return
+		}
+		thenSt := st.clone()
+		w.hooks.Refine(thenSt, s.Cond, true)
+		w.walkStmt(thenSt, s.Body)
+		elseSt := st.clone()
+		w.hooks.Refine(elseSt, s.Cond, false)
+		if s.Else != nil {
+			w.walkStmt(elseSt, s.Else)
+		}
+		*st = *mergeFlow(thenSt, elseSt)
+
+	case *ast.ForStmt:
+		w.walkStmt(st, s.Init)
+		if !st.live {
+			return
+		}
+		var breaks, conts []*flowState
+		w.breaks = append(w.breaks, &breaks)
+		w.continues = append(w.continues, &conts)
+		bodySt := st.clone()
+		if s.Cond != nil {
+			w.hooks.Refine(bodySt, s.Cond, true)
+		}
+		w.walkStmt(bodySt, s.Body)
+		for _, c := range conts {
+			bodySt = mergeFlow(bodySt, c)
+		}
+		if bodySt.live {
+			w.walkStmt(bodySt, s.Post)
+		}
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.continues = w.continues[:len(w.continues)-1]
+
+		var out *flowState
+		if s.Cond == nil {
+			// for{}: the only way past the loop is a break.
+			out = &flowState{live: false}
+		} else {
+			skip := st.clone()
+			w.hooks.Refine(skip, s.Cond, false)
+			after := bodySt
+			if after.live {
+				after = after.clone()
+				w.hooks.Refine(after, s.Cond, false)
+			}
+			out = mergeFlow(skip, after)
+		}
+		for _, b := range breaks {
+			out = mergeFlow(out, b)
+		}
+		*st = *out
+
+	case *ast.RangeStmt:
+		w.hooks.Transfer(st, s)
+		var breaks, conts []*flowState
+		w.breaks = append(w.breaks, &breaks)
+		w.continues = append(w.continues, &conts)
+		bodySt := st.clone()
+		w.walkStmt(bodySt, s.Body)
+		for _, c := range conts {
+			bodySt = mergeFlow(bodySt, c)
+		}
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.continues = w.continues[:len(w.continues)-1]
+		out := mergeFlow(st.clone(), bodySt) // zero iterations vs >=1
+		for _, b := range breaks {
+			out = mergeFlow(out, b)
+		}
+		*st = *out
+
+	case *ast.SwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkCases(st, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkStmt(st, s.Assign)
+		w.walkCases(st, s.Body, true)
+
+	case *ast.SelectStmt:
+		w.walkSelect(st, s.Body)
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if n := len(w.breaks); n > 0 {
+				*w.breaks[n-1] = append(*w.breaks[n-1], st.clone())
+			}
+			st.live = false
+		case "continue":
+			if n := len(w.continues); n > 0 {
+				*w.continues[n-1] = append(*w.continues[n-1], st.clone())
+			}
+			st.live = false
+		case "goto":
+			w.die(st) // unsupported: the path ends silently
+		case "fallthrough":
+			// Handled structurally by walkCases; ending the path here
+			// keeps the walker safe if one slips through.
+			st.live = false
+		}
+
+	case *ast.DeferStmt:
+		st.defers = append(st.defers, s.Call)
+
+	case *ast.LabeledStmt:
+		w.walkStmt(st, s.Stmt)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPanic(w.info, call) {
+			w.hooks.Transfer(st, s)
+			w.die(st)
+			return
+		}
+		w.hooks.Transfer(st, s)
+
+	case *ast.AssignStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.GoStmt, *ast.EmptyStmt:
+		w.hooks.Transfer(st, s)
+
+	default:
+		w.hooks.Transfer(st, s)
+	}
+}
+
+// walkCases walks a switch body: each case starts from a clone of the
+// entry state, fallthrough flows one clause's end state into the next,
+// and the missing-default path merges the entry state back in.
+func (w *flowWalker) walkCases(st *flowState, body *ast.BlockStmt, breakable bool) {
+	if !st.live {
+		return
+	}
+	var breaks []*flowState
+	if breakable {
+		w.breaks = append(w.breaks, &breaks)
+	}
+	entry := st.clone()
+	hasDefault := false
+	var outs []*flowState
+	var fall *flowState // state falling through from the previous clause
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := entry.clone()
+		if fall != nil {
+			caseSt = mergeFlow(caseSt, fall)
+			fall = nil
+		}
+		fallsThrough := false
+		for i, stmt := range cc.Body {
+			if !caseSt.live {
+				break
+			}
+			if br, ok := stmt.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i == len(cc.Body)-1 {
+				fallsThrough = true
+				break
+			}
+			w.walkStmt(caseSt, stmt)
+		}
+		if fallsThrough {
+			fall = caseSt
+		} else if caseSt.live {
+			outs = append(outs, caseSt)
+		}
+	}
+	if breakable {
+		w.breaks = w.breaks[:len(w.breaks)-1]
+	}
+	var out *flowState
+	if !hasDefault {
+		out = entry // no case may match
+	} else {
+		out = &flowState{live: false}
+	}
+	for _, o := range outs {
+		out = mergeFlow(out, o)
+	}
+	if fall != nil { // fallthrough on the last clause (illegal Go, but stay safe)
+		out = mergeFlow(out, fall)
+	}
+	for _, b := range breaks {
+		out = mergeFlow(out, b)
+	}
+	*st = *out
+}
+
+// walkSelect walks a select body: exactly one comm clause runs.
+func (w *flowWalker) walkSelect(st *flowState, body *ast.BlockStmt) {
+	if !st.live {
+		return
+	}
+	var breaks []*flowState
+	w.breaks = append(w.breaks, &breaks)
+	entry := st.clone()
+	out := &flowState{live: false}
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		caseSt := entry.clone()
+		w.walkStmt(caseSt, cc.Comm)
+		for _, stmt := range cc.Body {
+			if !caseSt.live {
+				break
+			}
+			w.walkStmt(caseSt, stmt)
+		}
+		if caseSt.live {
+			out = mergeFlow(out, caseSt)
+		}
+	}
+	w.breaks = w.breaks[:len(w.breaks)-1]
+	for _, b := range breaks {
+		out = mergeFlow(out, b)
+	}
+	*st = *out
+}
+
+// isPanic reports whether call invokes the panic builtin.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if info == nil {
+		return true
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin || info.Uses[id] == nil
+}

@@ -109,7 +109,7 @@ func (g *GuardedBy) accessOK(p *Package, sel *ast.SelectorExpr, guard string) bo
 	if p.EnclosingFunc(sel) == nil {
 		return true // package-level composite literal: initialization
 	}
-	return g.constructorAccess(p, sel)
+	return constructorAccess(p, sel)
 }
 
 // locksMutex reports whether body contains a call <path>.<guard>.Lock()
@@ -160,8 +160,9 @@ func finalName(e ast.Expr) string {
 
 // constructorAccess reports whether sel's base is a function-local
 // variable initialized from a composite literal in the same function —
-// a value still private to its constructor.
-func (g *GuardedBy) constructorAccess(p *Package, sel *ast.SelectorExpr) bool {
+// a value still private to its constructor. Shared by guardedby and
+// atomicmix: both disciplines are void before the value is published.
+func constructorAccess(p *Package, sel *ast.SelectorExpr) bool {
 	root := ast.Unparen(sel.X)
 	for {
 		if inner, ok := root.(*ast.SelectorExpr); ok {

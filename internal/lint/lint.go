@@ -16,6 +16,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one analyzer finding, reported as file:line: message
@@ -122,6 +124,56 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 			out = append(out, a.Run(p)...)
 		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Timing is one analyzer's wall-clock cost across all packages.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunParallel executes the analyzers concurrently — one goroutine per
+// analyzer, each walking every package — and returns the combined
+// diagnostics (sorted, same order as Run) plus per-analyzer timings
+// sorted slowest first. Analyzers are independent of one another, but
+// Package's lazy annotation and parent indexes are not thread-safe, so
+// they are precomputed before the fan-out.
+func RunParallel(pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, []Timing) {
+	for _, p := range pkgs {
+		p.Annotations()
+		if len(p.Files) > 0 {
+			p.Parent(p.Files[0]) // one call builds the whole parent map
+		}
+	}
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	timings := make([]Timing, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a Analyzer) {
+			defer wg.Done()
+			start := time.Now()
+			var out []Diagnostic
+			for _, p := range pkgs {
+				out = append(out, a.Run(p)...)
+			}
+			perAnalyzer[i] = out
+			timings[i] = Timing{Analyzer: a.Name(), Elapsed: time.Since(start)}
+		}(i, a)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, d := range perAnalyzer {
+		out = append(out, d...)
+	}
+	sortDiagnostics(out)
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Elapsed > timings[j].Elapsed })
+	return out, timings
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -131,18 +183,29 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // Default returns the full analyzer suite with the repository's
 // configuration: the wire buffer pool's package path, the disk layer
 // exempted from lockio (it is the I/O layer the invariant protects
 // callers of), the error-classification boundary around the transport
-// and fragment-I/O packages, and the placement-indexing invariant over
-// the packages that resolve server placement at runtime (harnesses and
+// and fragment-I/O packages, the placement-indexing invariant over the
+// packages that resolve server placement at runtime (harnesses and
 // CLIs build their connection slices before a log exists, so they are
-// out of scope).
+// out of scope), the refcounted extent type, the wire.Status enum's
+// exhaustiveness boundary, and the goroutine-lifecycle discipline over
+// the packages that run background workers.
 func Default() []Analyzer {
+	dataPath := []string{
+		"swarm",
+		"swarm/internal/core",
+		"swarm/internal/server",
+		"swarm/internal/transport",
+		"swarm/internal/fragio",
+		"swarm/internal/rebalance",
+		"swarm/internal/cleaner",
+		"swarm/internal/service",
+	}
 	return []Analyzer{
 		NewBufPool("swarm/internal/wire"),
 		NewLockIO("swarm/internal/disk", []string{"swarm/internal/disk"}),
@@ -156,6 +219,10 @@ func Default() []Analyzer {
 			"swarm/internal/cleaner",
 			"swarm/internal/service",
 		}),
+		NewRefCount([]string{"swarm/internal/server.Extent"}),
+		NewStatusCase("swarm/internal/wire.Status", append([]string{"swarm/internal/wire"}, dataPath...)),
+		NewAtomicMix(),
+		NewGoroLeak(dataPath),
 	}
 }
 

@@ -118,6 +118,50 @@ func TestPlacementFixture(t *testing.T) {
 	checkFixture(t, "placement", NewPlacement([]string{"fixture/placement"}))
 }
 
+func TestRefCountFixture(t *testing.T) {
+	checkFixture(t, "refcount", NewRefCount([]string{"fixture/refcount.Extent"}))
+}
+
+func TestStatusCaseFixture(t *testing.T) {
+	checkFixture(t, "statuscase", NewStatusCase("fixture/statuscase.Status", []string{"fixture/statuscase"}))
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	checkFixture(t, "atomicmix", NewAtomicMix())
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkFixture(t, "goroleak", NewGoroLeak([]string{"fixture/goroleak"}))
+}
+
+// TestStatusCaseSkipsUnlistedPackages pins the boundary: a switch over
+// the enum in a package outside the data path is not checked.
+func TestStatusCaseSkipsUnlistedPackages(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.CheckDir("fixture/statuscase", filepath.Join("testdata", "src", "statuscase"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Analyzer{NewStatusCase("fixture/statuscase.Status", []string{"swarm/internal/transport"})})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside checked packages, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestGoroLeakSkipsUnlistedPackages pins the boundary: goroutines in
+// packages outside the data path (benchmarks, CLIs) are not checked.
+func TestGoroLeakSkipsUnlistedPackages(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.CheckDir("fixture/goroleak", filepath.Join("testdata", "src", "goroleak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Analyzer{NewGoroLeak([]string{"swarm/internal/server"})})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside checked packages, got %d: %v", len(diags), diags)
+	}
+}
+
 // TestPlacementSkipsUnlistedPackages pins the boundary: the same
 // fixture body produces nothing when its package is not in the checked
 // set (harness/CLI construction code stays free to index its own
@@ -166,6 +210,42 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Errorf("repository is not lint-clean (%d findings):\n%s", len(diags), report.String())
+	}
+}
+
+// TestRunParallelMatchesRun pins the parallel runner: identical
+// diagnostics in identical order to the serial runner, plus one timing
+// per analyzer, sorted slowest first.
+func TestRunParallelMatchesRun(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.Load()
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	serial := Run(pkgs, Default())
+	par, timings := RunParallel(pkgs, Default())
+	if len(serial) != len(par) {
+		t.Fatalf("serial found %d diagnostics, parallel %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].String() != par[i].String() {
+			t.Errorf("diagnostic %d differs:\n serial: %s\n parallel: %s", i, serial[i], par[i])
+		}
+	}
+	if len(timings) != len(Default()) {
+		t.Fatalf("got %d timings for %d analyzers", len(timings), len(Default()))
+	}
+	names := make(map[string]bool)
+	for i, tm := range timings {
+		names[tm.Analyzer] = true
+		if i > 0 && tm.Elapsed > timings[i-1].Elapsed {
+			t.Errorf("timings not sorted slowest-first at %d: %v", i, timings)
+		}
+	}
+	for _, a := range Default() {
+		if !names[a.Name()] {
+			t.Errorf("no timing reported for analyzer %q", a.Name())
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package atomicmix is a swarmlint test fixture: each function
+// exercises one atomicmix-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits int64
+	raw  int64
+	mu   sync.Mutex
+}
+
+// bump makes hits an atomic field: every other access must go through
+// sync/atomic too.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) storeAtomic(v int64) {
+	atomic.StoreInt64(&c.hits, v)
+}
+
+func (c *counters) readPlain() int64 {
+	return c.hits // want "accessed with sync/atomic elsewhere but plainly here"
+}
+
+func (c *counters) writePlain() {
+	c.hits = 0 // want "plainly here"
+}
+
+// raw is never touched atomically: plain access is fine.
+func (c *counters) untouched() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raw
+}
+
+// Constructor access through an unpublished composite-literal value
+// needs no atomics: nothing else can see it yet.
+func newCounters(seed int64) *counters {
+	c := &counters{}
+	c.hits = seed
+	return c
+}
+
+func (c *counters) annotatedSnapshot() int64 {
+	// swarmlint:atomic-ok — harness-only, called after writers are joined
+	return c.hits
+}

@@ -1,0 +1,103 @@
+// Package goroleak is a swarmlint test fixture: each function
+// exercises one goroleak-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package goroleak
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// A WaitGroup ties the goroutine: the owner waits for it.
+func (w *worker) spawnWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+// No tie at all: flagged.
+func (w *worker) spawnUntied() {
+	go func() { // want "not visibly tied"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Parking on an owner-controlled channel ties it: close(stop) ends it.
+func (w *worker) spawnReceiver() {
+	go func() {
+		<-w.stop
+	}()
+}
+
+func (w *worker) spawnRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func (w *worker) spawnSelect() {
+	go func() {
+		select {
+		case <-w.stop:
+		}
+	}()
+}
+
+// Closing a lifecycle channel is itself a tie: completion is signalled.
+func spawnCloser() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// A send on a spawner-local channel is result delivery to a waiting
+// owner: the goroutine's lifetime is the request's.
+func localResult() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// A send on a long-lived shared channel proves nothing about lifetime.
+var global chan int
+
+func spawnGlobalSend() {
+	go func() { // want "not visibly tied"
+		global <- 1
+	}()
+}
+
+func (w *worker) loop() {
+	<-w.stop
+}
+
+// Named callees resolve to their in-package declaration: loop parks on
+// the stop channel, so the spawn is tied.
+func (w *worker) spawnNamed() {
+	go w.loop()
+}
+
+func (w *worker) opaque() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func (w *worker) spawnOpaque() {
+	go w.opaque() // want "not visibly tied"
+}
+
+func (w *worker) spawnAnnotated() {
+	// swarmlint:goroleak-ok — sampler with no shutdown requirement
+	go w.opaque()
+}

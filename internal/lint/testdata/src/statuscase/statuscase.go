@@ -1,0 +1,88 @@
+// Package statuscase is a swarmlint test fixture: each function
+// exercises one statuscase-analyzer behavior, with expected diagnostics
+// declared in want comments.
+package statuscase
+
+// Status stands in for wire.Status.
+type Status uint8
+
+// The enum. statusCount is an unexported sentinel — not a member.
+const (
+	StatusA Status = iota + 1
+	StatusB
+	StatusC
+	statusCount
+)
+
+// exhaustive lists every member: clean, no default needed.
+func exhaustive(s Status) int {
+	switch s {
+	case StatusA:
+		return 1
+	case StatusB:
+		return 2
+	case StatusC:
+		return 3
+	}
+	return 0
+}
+
+// grouped case lists count the same as separate clauses.
+func groupedExhaustive(s Status) int {
+	switch s {
+	case StatusA, StatusB, StatusC:
+		return 1
+	}
+	return 0
+}
+
+func missingMember(s Status) int {
+	switch s { // want "does not handle StatusC"
+	case StatusA, StatusB:
+		return 1
+	}
+	return 0
+}
+
+// A bare default does not excuse missing members: the default's
+// disposition was never decided for them.
+func missingWithBareDefault(s Status) int {
+	switch s { // want "does not handle StatusB, StatusC"
+	case StatusA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func annotatedDefault(s Status) int {
+	switch s {
+	case StatusA:
+		return 1
+	// swarmlint:statuscase-ok — every non-A status rejects by design
+	default:
+		return 0
+	}
+}
+
+// Switches over other types are out of scope.
+func otherType(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switches are ordinary if-chains, out of scope.
+func tagless(s Status) int {
+	switch {
+	case s == StatusA:
+		return 1
+	}
+	return 0
+}
+
+func sink() int {
+	return int(statusCount)
+}

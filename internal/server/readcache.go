@@ -46,9 +46,17 @@ type readCache struct {
 
 	// raCh feeds the readahead worker the FIDs whose neighbors should be
 	// prefetched. Sends never block: under load, dropping a readahead
-	// hint is strictly better than stalling a foreground read.
+	// hint is strictly better than stalling a foreground read. raCh is
+	// never closed — schedule may race with shutdown — so the worker's
+	// stop signal is its own channel.
 	raCh      chan wire.FID
 	lastSched atomic.Uint64 // last FID handed to the worker (dedup)
+
+	// raStop is closed by Store.Close to terminate the readahead worker;
+	// raDone is closed by the worker on exit and is non-nil only when a
+	// worker was started (readahead depth > 0).
+	raStop chan struct{}
+	raDone chan struct{}
 }
 
 // Extent is one cached fragment: the full stored payload plus the
@@ -78,6 +86,7 @@ func newReadCache(capBytes int64, depth int) *readCache {
 		lru:      list.New(),
 		index:    make(map[wire.FID]*list.Element),
 		raCh:     make(chan wire.FID, 256),
+		raStop:   make(chan struct{}),
 	}
 }
 
@@ -85,6 +94,7 @@ func newReadCache(capBytes int64, depth int) *readCache {
 // live (slot, gen) the caller just resolved under the store mutex. The
 // returned extent carries a reference the caller must release. A stale
 // entry (slot recycled since the fill) is dropped and reported as a miss.
+// swarmlint:returns-ref
 func (rc *readCache) get(fid wire.FID, slot int, gen uint64) *Extent {
 	rc.mu.Lock()
 	el, ok := rc.index[fid]
@@ -110,6 +120,7 @@ func (rc *readCache) get(fid wire.FID, slot int, gen uint64) *Extent {
 // buffer is recycled and the resident entry is returned instead. An
 // extent larger than the whole cache is returned caller-owned without
 // being inserted.
+// swarmlint:returns-ref
 func (rc *readCache) insert(fid wire.FID, slot int, gen uint64, buf []byte) *Extent {
 	rc.mu.Lock()
 	if el, ok := rc.index[fid]; ok {
@@ -221,10 +232,21 @@ func (s *Store) SetReadCache(capBytes int64, depth int) {
 	}
 	s.rcache = newReadCache(capBytes, depth)
 	if depth > 0 {
-		// The worker parks on the channel for the store's lifetime;
-		// stores live as long as their server process.
+		s.rcache.raDone = make(chan struct{})
 		go s.readaheadWorker(s.rcache)
 	}
+}
+
+// Close stops the store's background work — today, the readahead
+// worker. It does not touch the disk, which the store does not own.
+// Idempotent; a Store that never started a worker closes trivially.
+func (s *Store) Close() {
+	rc := s.rcache
+	if rc == nil || rc.raDone == nil {
+		return
+	}
+	s.closeOnce.Do(func() { close(rc.raStop) })
+	<-rc.raDone
 }
 
 // readExtent is the cached read path: resolve fid under the metadata
@@ -235,6 +257,7 @@ func (s *Store) SetReadCache(capBytes int64, depth int) {
 // the bytes are on the wire (or copied). Range and ACL checks happen on
 // every request, cached or not, so readahead never bypasses access
 // control.
+// swarmlint:returns-ref
 func (s *Store) readExtent(rc *readCache, client wire.ClientID, fid wire.FID, off, n uint32) ([]byte, *Extent, error) {
 	for {
 		s.mu.RLock()
@@ -293,11 +316,19 @@ func (s *Store) readExtent(rc *readCache, client wire.ClientID, fid wire.FID, of
 // readaheadWorker serves the prefetch queue: for each scheduled FID it
 // loads the next depth fragments of the same client log into the cache.
 // All disk reads happen outside the store mutex, through the same
-// fill-and-revalidate protocol as foreground misses.
+// fill-and-revalidate protocol as foreground misses. The worker runs
+// until Store.Close closes raStop; hints already queued at shutdown are
+// dropped — readahead is advisory.
 func (s *Store) readaheadWorker(rc *readCache) {
-	for fid := range rc.raCh {
-		for i := uint64(1); i <= uint64(rc.depth); i++ {
-			s.prefetchExtent(rc, wire.MakeFID(fid.Client(), fid.Seq()+i))
+	defer close(rc.raDone)
+	for {
+		select {
+		case <-rc.raStop:
+			return
+		case fid := <-rc.raCh:
+			for i := uint64(1); i <= uint64(rc.depth); i++ {
+				s.prefetchExtent(rc, wire.MakeFID(fid.Client(), fid.Seq()+i))
+			}
 		}
 	}
 }
@@ -343,6 +374,7 @@ func (s *Store) prefetchExtent(rc *readCache, fid wire.FID) {
 // second return value carries the reference the caller must release
 // once the payload has been written or copied. With the cache disabled
 // it behaves exactly like Read (pooled buffer, nil extent).
+// swarmlint:returns-ref
 func (s *Store) ReadExtent(client wire.ClientID, fid wire.FID, off, n uint32) ([]byte, *Extent, error) {
 	rc := s.rcache
 	if rc == nil {

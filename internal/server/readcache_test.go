@@ -270,3 +270,50 @@ func TestExtentRefcountLifecycle(t *testing.T) {
 	}
 	ext0.Release() // last reference; buffer returns to the pool
 }
+
+// TestCloseStopsReadaheadWorker pins the shutdown fix: before it, the
+// readahead worker SetReadCache spawned parked on the prefetch queue
+// forever — one leaked goroutine per server restart, and the chaos
+// harness restarts servers hundreds of times per run. Store.Close must
+// terminate it promptly and idempotently.
+func TestCloseStopsReadaheadWorker(t *testing.T) {
+	s := newCachedStore(t, 8, 1<<20, 2)
+	if s.rcache.raDone == nil {
+		t.Fatal("readahead enabled but no worker lifecycle channel")
+	}
+	// Prove the worker is alive before shutdown: a scheduled hint for a
+	// stored fragment gets prefetched.
+	fid := wire.MakeFID(1, 0)
+	if err := s.Store(fid, bytes.Repeat([]byte{0x5A}, 500), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(wire.MakeFID(1, 1), bytes.Repeat([]byte{0xA5}, 500), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.rcache.schedule(fid)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.rcache.raLoads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("readahead worker never served the scheduled hint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Close()
+	select {
+	case <-s.rcache.raDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("readahead worker did not exit after Store.Close")
+	}
+	s.Close() // idempotent: a second Close must not panic or hang
+}
+
+// TestCloseWithoutWorkerIsNoop: depth 0 starts no worker, and a store
+// with no cache at all has nothing to stop — Close must return
+// immediately in both shapes.
+func TestCloseWithoutWorkerIsNoop(t *testing.T) {
+	s := newCachedStore(t, 8, 1<<20, 0)
+	s.Close()
+	bare, _ := newTestStore(t, 8)
+	bare.Close()
+}

@@ -162,7 +162,8 @@ type Store struct {
 
 	// rcache is the serving-tier extent read cache (nil = disabled).
 	// Set once by SetReadCache before traffic; see readcache.go.
-	rcache *readCache
+	rcache    *readCache
+	closeOnce sync.Once // guards the readahead worker's stop signal
 
 	// qos is the multi-tenant weighted-fair scheduler (nil = FIFO, the
 	// pre-QoS behavior). Set once by SetQoS before traffic; see qos.go.

@@ -159,6 +159,9 @@ func (t *tcpRPC) dial() (*muxConn, error) {
 		return nil, ErrUnavailable
 	}
 	t.mu.Unlock()
+	// readLoop terminates on the first read error, and conn close (via
+	// Close or a dead-conn retirement) makes every subsequent read fail.
+	// swarmlint:goroleak-ok — exits when the connection closes
 	go m.readLoop()
 	return m, nil
 }

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllStatusesPinned keeps the Status const block and the
+// AllStatuses table from drifting: statusCount sits one past the last
+// member, so a status added to the block without a table entry (or the
+// reverse) changes one side of these equalities and fails here. The
+// resilient transport's retry classifier and every statuscase-checked
+// switch trust this list to be the whole enum.
+func TestAllStatusesPinned(t *testing.T) {
+	all := AllStatuses()
+	if got, want := len(all), int(statusCount-StatusOK); got != want {
+		t.Fatalf("AllStatuses lists %d statuses, const block defines %d", got, want)
+	}
+	seen := make(map[Status]bool, len(all))
+	var max Status
+	for _, s := range all {
+		if s < StatusOK || s >= statusCount {
+			t.Fatalf("AllStatuses contains %d, outside [%d, %d)", s, StatusOK, statusCount)
+		}
+		if seen[s] {
+			t.Fatalf("AllStatuses lists %v twice", s)
+		}
+		seen[s] = true
+		if s > max {
+			max = s
+		}
+	}
+	if max != statusCount-1 {
+		t.Fatalf("AllStatuses max is %d, const block max is %d", max, statusCount-1)
+	}
+}
+
+// TestStatusStringsNamed: every defined status has a real name — the
+// "status(n)" fallback is for codes newer builds define, not members.
+func TestStatusStringsNamed(t *testing.T) {
+	for _, s := range AllStatuses() {
+		if name := s.String(); strings.HasPrefix(name, "status(") {
+			t.Errorf("status %d has no String case", s)
+		}
+	}
+	if got := Status(200).String(); !strings.HasPrefix(got, "status(") {
+		t.Errorf("unknown status renders %q, want the numeric fallback", got)
+	}
+}

@@ -66,6 +66,13 @@ const (
 	// not an authoritative answer about the operation itself: nothing
 	// was attempted against the store.
 	StatusBusy
+
+	// statusCount is one past the last defined status. It is the pin the
+	// AllStatuses test uses to keep the table and this const block from
+	// drifting: a new status added above grows statusCount, and the test
+	// fails until AllStatuses lists it. Unexported — it is a sentinel,
+	// not a wire value, and never crosses the network.
+	statusCount
 )
 
 // AllStatuses enumerates every defined status code. Tables keyed by

@@ -129,12 +129,16 @@ func (s *Server) Stats() (fragmentSize, totalSlots, freeSlots, fragments int) {
 	return st.FragmentSize, st.TotalSlots, st.FreeSlots, st.Fragments
 }
 
-// Close stops serving and releases the disk.
+// Close stops serving and releases the disk. It also stops the store's
+// background readahead worker — without this, every server restart
+// (the chaos harness does hundreds per run) leaked one goroutine parked
+// on the prefetch queue forever.
 func (s *Server) Close() error {
 	var err error
 	if s.tcp != nil {
 		err = s.tcp.Close()
 	}
+	s.store.Close()
 	if cerr := s.d.Close(); err == nil {
 		err = cerr
 	}
